@@ -1,0 +1,184 @@
+// Benchmarks: one per table/figure of the paper's evaluation.
+// `go test -bench=. -benchmem` regenerates every result at reduced
+// scale; cmd/optbench runs the full-scale sweeps recorded in
+// EXPERIMENTS.md. Each benchmark reports the experiment's headline
+// metric(s) via ReportMetric so the shape is visible from the bench
+// output alone.
+package optanesim
+
+import (
+	"testing"
+
+	"optanesim/internal/bench"
+)
+
+// BenchmarkFig2ReadAmplification measures §3.1's strided-read experiment:
+// the headline metrics are RA at 8 KB (≈1 for CpX=4) and past the buffer
+// (≈4).
+func BenchmarkFig2ReadAmplification(b *testing.B) {
+	var small, big float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig2(bench.Fig2Options{Gen: bench.G1, WSS: []int{8 * bench.KB, 24 * bench.KB}, Passes: 4})
+		small, big = pts[0].RA[3], pts[1].RA[3]
+	}
+	b.ReportMetric(small, "RA@8KB")
+	b.ReportMetric(big, "RA@24KB")
+}
+
+// BenchmarkFig3WriteAmplification measures §3.2's partial-write WA knee.
+func BenchmarkFig3WriteAmplification(b *testing.B) {
+	var small, big float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig3(bench.Fig3Options{Gen: bench.G1, WSS: []int{8 * bench.KB, 32 * bench.KB}, Passes: 6})
+		small, big = pts[0].WA[0], pts[1].WA[0]
+	}
+	b.ReportMetric(small, "WA25%@8KB")
+	b.ReportMetric(big, "WA25%@32KB")
+}
+
+// BenchmarkFig4WriteBufferHit measures the eviction-policy hit ratios.
+func BenchmarkFig4WriteBufferHit(b *testing.B) {
+	var g1, g2 float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig4(bench.Fig4Options{WSS: []int{14 * bench.KB}, Writes: 8000})
+		g1, g2 = pts[0].HitRatio[bench.G1], pts[0].HitRatio[bench.G2]
+	}
+	b.ReportMetric(g1, "hitG1@14KB")
+	b.ReportMetric(g2, "hitG2@14KB")
+}
+
+// BenchmarkFig6Prefetch measures the §3.4 misprefetch waste (DCU
+// streamer, beyond the LLC).
+func BenchmarkFig6Prefetch(b *testing.B) {
+	var pm, imc float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig6(bench.Fig6Options{
+			Gen: bench.G1, Setting: bench.PFDCUStreamer,
+			WSS: []int{256 * bench.MB}, MaxVisits: 10000,
+		})
+		pm, imc = pts[0].PMRatio, pts[0].IMCRatio
+	}
+	b.ReportMetric(pm, "PMratio")
+	b.ReportMetric(imc, "iMCratio")
+}
+
+// BenchmarkFig7RAP measures the read-after-persist stall at distance 0
+// versus the converged tail (G1, local PM, clwb+mfence).
+func BenchmarkFig7RAP(b *testing.B) {
+	var d0, d40 float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig7(bench.Fig7Options{
+			Gen: bench.G1, Variant: bench.RAPClwbMFence, PM: true,
+			Distances: []int{0, 40}, Passes: 12,
+		})
+		d0, d40 = pts[0].Cycles, pts[1].Cycles
+	}
+	b.ReportMetric(d0, "cyc@d0")
+	b.ReportMetric(d40, "cyc@d40")
+}
+
+// BenchmarkFig8Latency measures §3.6's per-element latency: strict
+// persistency, random linkage, small vs large working sets.
+func BenchmarkFig8Latency(b *testing.B) {
+	var small, big float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig8(bench.Fig8Options{
+			Gen: bench.G1, Mode: bench.Fig8Strict, Random: true,
+			WSS: []int{4 * bench.KB, 64 * bench.MB}, MaxElements: 30000,
+		})
+		small, big = pts[0].Cycles, pts[1].Cycles
+	}
+	b.ReportMetric(small, "cyc/elem@4KB")
+	b.ReportMetric(big, "cyc/elem@64MB")
+}
+
+// BenchmarkTable1CCEHBreakdown measures the CCEH insert time breakdown
+// (1 thread, 1 DIMM).
+func BenchmarkTable1CCEHBreakdown(b *testing.B) {
+	var seg, per float64
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1(bench.Table1Options{PrebuildKeys: 600_000, InsertsPerThread: 1_000})
+		seg, per = rows[0].SegmentMeta, rows[0].Persists
+	}
+	b.ReportMetric(seg, "segment%")
+	b.ReportMetric(per, "persists%")
+}
+
+// BenchmarkFig10CCEH measures the helper-thread speedup on PM (1 worker).
+func BenchmarkFig10CCEH(b *testing.B) {
+	var base, help float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig10(bench.Fig10Options{
+			Workers: []int{1}, PrebuildKeys: 600_000, TotalInserts: 3_000,
+		})
+		base, help = pts[0].BaseCycles, pts[0].HelpCycles
+	}
+	b.ReportMetric(base, "cyc/insert")
+	b.ReportMetric(help, "cyc/insert-helped")
+}
+
+// BenchmarkFig12BTree measures in-place vs redo-log insert latency (G1,
+// 1 thread).
+func BenchmarkFig12BTree(b *testing.B) {
+	var inPlace, redo float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig12(bench.Fig12Options{
+			Gen: bench.G1, Threads: []int{1}, PrebuildKeys: 120_000, InsertsPerThread: 800,
+		})
+		inPlace, redo = pts[0].InPlaceCycles, pts[0].RedoCycles
+	}
+	b.ReportMetric(inPlace, "cyc/insert-inplace")
+	b.ReportMetric(redo, "cyc/insert-redo")
+}
+
+// BenchmarkFig13Redirect measures the §4.3 read-ratio reduction.
+func BenchmarkFig13Redirect(b *testing.B) {
+	var base, opt float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig13(bench.Fig13Options{Gen: bench.G1, WSS: []int{256 * bench.MB}, MaxVisits: 8000})
+		base, opt = pts[0].PMRatio, pts[0].OptimizedPM
+	}
+	b.ReportMetric(base, "PMratio-prefetch")
+	b.ReportMetric(opt, "PMratio-optimized")
+}
+
+// BenchmarkFig14Redirect measures the redirection throughput crossover
+// (16 threads).
+func BenchmarkFig14Redirect(b *testing.B) {
+	var baseGBs, optGBs float64
+	for i := 0; i < b.N; i++ {
+		pts := bench.Fig14(bench.Fig14Options{Gen: bench.G1, Threads: []int{16}, BlocksPerThread: 2000})
+		baseGBs, optGBs = pts[0].BaseGBs, pts[0].OptGBs
+	}
+	b.ReportMetric(baseGBs, "GB/s-prefetch")
+	b.ReportMetric(optGBs, "GB/s-optimized")
+}
+
+// BenchmarkSimulatorCore measures raw simulation speed: simulated memory
+// operations per wall-clock second for a mixed single-thread workload.
+func BenchmarkSimulatorCore(b *testing.B) {
+	sys := MustNewSystem(G1Config(1))
+	heap := NewPMHeap(8 << 20)
+	base := heap.Alloc(4<<20, 256)
+	b.ResetTimer()
+	sys.Go("bench", 0, false, func(t *Thread) {
+		state := uint64(12345)
+		for i := 0; i < b.N; i++ {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			a := base + Addr(state%(4<<20-512))
+			switch i % 4 {
+			case 0:
+				t.Load(a)
+			case 1:
+				t.Store(a)
+			case 2:
+				t.CLWB(a)
+			case 3:
+				t.SFence()
+			}
+		}
+	})
+	sys.Run()
+}

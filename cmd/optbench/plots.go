@@ -1,0 +1,147 @@
+package main
+
+import (
+	"fmt"
+
+	"optanesim/internal/bench"
+	"optanesim/internal/plot"
+)
+
+// plotFig2 draws the RA curves like the paper's Fig. 2.
+func plotFig2(gen bench.Gen, pts []bench.Fig2Point) {
+	series := make([]plot.Series, 4)
+	for cpx := 1; cpx <= 4; cpx++ {
+		s := plot.Series{Label: fmt.Sprintf("%d cacheline(s)", cpx)}
+		for _, p := range pts {
+			s.X = append(s.X, float64(p.WSSBytes))
+			s.Y = append(s.Y, p.RA[cpx-1])
+		}
+		series[cpx-1] = s
+	}
+	fmt.Println(plot.Render(plot.Options{
+		Title: fmt.Sprintf("Fig. 2 (%s): read amplification vs WSS", gen), XLabel: "WSS", YLabel: "RA",
+	}, series...))
+}
+
+// plotFig4 draws the hit-ratio curves.
+func plotFig4(pts []bench.Fig4Point) {
+	g1 := plot.Series{Label: "G1 Optane"}
+	g2 := plot.Series{Label: "G2 Optane"}
+	for _, p := range pts {
+		g1.X = append(g1.X, float64(p.WSSBytes))
+		g1.Y = append(g1.Y, p.HitRatio[bench.G1])
+		g2.X = append(g2.X, float64(p.WSSBytes))
+		g2.Y = append(g2.Y, p.HitRatio[bench.G2])
+	}
+	fmt.Println(plot.Render(plot.Options{
+		Title: "Fig. 4: write-buffer hit ratio vs WSS", XLabel: "WSS", YLabel: "hit ratio",
+	}, g1, g2))
+}
+
+// plotFig7 draws one panel's RAP curves.
+func plotFig7(gen bench.Gen, pm, remote bool, curves map[bench.RAPVariant][]bench.Fig7Point) {
+	dev, socket := "DRAM", "local"
+	if pm {
+		dev = "PM"
+	}
+	if remote {
+		socket = "remote"
+	}
+	var series []plot.Series
+	for _, v := range []bench.RAPVariant{bench.RAPClwbMFence, bench.RAPClwbSFence, bench.RAPNTStoreMFence} {
+		pts, ok := curves[v]
+		if !ok {
+			continue
+		}
+		s := plot.Series{Label: v.String()}
+		for _, p := range pts {
+			s.X = append(s.X, float64(p.Distance))
+			s.Y = append(s.Y, p.Cycles)
+		}
+		series = append(series, s)
+	}
+	fmt.Println(plot.Render(plot.Options{
+		Title:  fmt.Sprintf("Fig. 7 (%s): RAP latency on %s %s", gen, socket, dev),
+		XLabel: "distance (cachelines)", YLabel: "cycles/iter",
+	}, series...))
+}
+
+// plotFig8 draws one panel's latency curves.
+func plotFig8(gen bench.Gen, mode bench.Fig8Mode, series []bench.Fig8Series) {
+	var ps []plot.Series
+	for _, s := range series {
+		p := plot.Series{Label: s.Label}
+		for _, pt := range s.Points {
+			p.X = append(p.X, float64(pt.WSSBytes))
+			p.Y = append(p.Y, pt.Cycles)
+		}
+		ps = append(ps, p)
+	}
+	fmt.Println(plot.Render(plot.Options{
+		Title:  fmt.Sprintf("Fig. 8 (%s, %s): cycles per element vs WSS", gen, mode),
+		XLabel: "WSS", YLabel: "cycles", LogX: true,
+	}, ps...))
+}
+
+// plotFig10 draws the latency and throughput panels.
+func plotFig10(dev string, pts []bench.Fig10Point) {
+	lat0 := plot.Series{Label: "base"}
+	lat1 := plot.Series{Label: "with prefetching"}
+	thr0 := plot.Series{Label: "base"}
+	thr1 := plot.Series{Label: "with prefetching"}
+	for _, p := range pts {
+		x := float64(p.Workers)
+		lat0.X, lat0.Y = append(lat0.X, x), append(lat0.Y, p.BaseCycles)
+		lat1.X, lat1.Y = append(lat1.X, x), append(lat1.Y, p.HelpCycles)
+		thr0.X, thr0.Y = append(thr0.X, x), append(thr0.Y, p.BaseMops)
+		thr1.X, thr1.Y = append(thr1.X, x), append(thr1.Y, p.HelpMops)
+	}
+	fmt.Println(plot.Render(plot.Options{
+		Title: "Fig. 10: CCEH insert latency on " + dev, XLabel: "workers", YLabel: "cycles",
+	}, lat0, lat1))
+	fmt.Println(plot.Render(plot.Options{
+		Title: "Fig. 10: CCEH throughput on " + dev, XLabel: "workers", YLabel: "Mops/s",
+	}, thr0, thr1))
+}
+
+// plotFig12 draws one generation's panels.
+func plotFig12(gen bench.Gen, pts []bench.Fig12Point) {
+	lat0 := plot.Series{Label: "in-place"}
+	lat1 := plot.Series{Label: "redo log"}
+	thr0 := plot.Series{Label: "in-place"}
+	thr1 := plot.Series{Label: "redo log"}
+	for _, p := range pts {
+		x := float64(p.Threads)
+		lat0.X, lat0.Y = append(lat0.X, x), append(lat0.Y, p.InPlaceCycles)
+		lat1.X, lat1.Y = append(lat1.X, x), append(lat1.Y, p.RedoCycles)
+		thr0.X, thr0.Y = append(thr0.X, x), append(thr0.Y, p.InPlaceMops)
+		thr1.X, thr1.Y = append(thr1.X, x), append(thr1.Y, p.RedoMops)
+	}
+	fmt.Println(plot.Render(plot.Options{
+		Title: fmt.Sprintf("Fig. 12 (%s): B+-tree insert latency", gen), XLabel: "threads", YLabel: "cycles",
+	}, lat0, lat1))
+	fmt.Println(plot.Render(plot.Options{
+		Title: fmt.Sprintf("Fig. 12 (%s): B+-tree throughput", gen), XLabel: "threads", YLabel: "Mops/s",
+	}, thr0, thr1))
+}
+
+// plotFig14 draws one generation's tradeoff panels.
+func plotFig14(gen bench.Gen, pts []bench.Fig14Point) {
+	lat0 := plot.Series{Label: "with prefetching"}
+	lat1 := plot.Series{Label: "optimized"}
+	thr0 := plot.Series{Label: "with prefetching"}
+	thr1 := plot.Series{Label: "optimized"}
+	for _, p := range pts {
+		x := float64(p.Threads)
+		lat0.X, lat0.Y = append(lat0.X, x), append(lat0.Y, p.BaseCycles)
+		lat1.X, lat1.Y = append(lat1.X, x), append(lat1.Y, p.OptCycles)
+		thr0.X, thr0.Y = append(thr0.X, x), append(thr0.Y, p.BaseGBs)
+		thr1.X, thr1.Y = append(thr1.X, x), append(thr1.Y, p.OptGBs)
+	}
+	fmt.Println(plot.Render(plot.Options{
+		Title: fmt.Sprintf("Fig. 14 (%s): latency", gen), XLabel: "threads", YLabel: "cycles/block",
+	}, lat0, lat1))
+	fmt.Println(plot.Render(plot.Options{
+		Title: fmt.Sprintf("Fig. 14 (%s): throughput", gen), XLabel: "threads", YLabel: "GB/s",
+	}, thr0, thr1))
+}

@@ -1,0 +1,65 @@
+// Command pmsim runs a workload script (see internal/script for the
+// tiny language) on the simulated Optane testbed and prints per-thread
+// latency plus a full activity report.
+//
+// Usage:
+//
+//	pmsim workload.pmsim
+//	pmsim -            # read the script from stdin
+//
+// Example script:
+//
+//	gen g1
+//	region store pm 64M
+//	thread writer
+//	  loop 1000
+//	    loaddep store rand
+//	    store store last
+//	    clwb store last
+//	    sfence
+//	  end
+//	end
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"optanesim/internal/script"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: pmsim <script.pmsim | ->")
+		os.Exit(2)
+	}
+	var src []byte
+	var err error
+	if os.Args[1] == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+	prog, err := script.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+	res, err := script.Run(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("simulated %d cycles\n\n", res.EndCycles)
+	for _, t := range res.Threads {
+		fmt.Printf("thread %-12s %10d ops  %12d cycles  (%.1f cycles/op)\n",
+			t.Name, t.Ops, t.Cycles, float64(t.Cycles)/float64(t.Ops))
+	}
+	fmt.Println()
+	fmt.Print(res.Report)
+}

@@ -1,0 +1,76 @@
+// Hashtable: the §4.1 case study as an application — a CCEH persistent
+// hash table under a write-heavy load, with and without the paper's
+// speculative helper-thread prefetcher, on PM and on DRAM.
+//
+// Expected outcome (the paper's C7 claim): the helper improves latency
+// and throughput substantially on Optane and does not help on DRAM.
+package main
+
+import (
+	"fmt"
+
+	"optanesim"
+)
+
+const (
+	prebuild = 600_000
+	inserts  = 8_000
+)
+
+func run(onDRAM, helper bool) (cyclesPerInsert float64, ok bool) {
+	sys := optanesim.MustNewSystem(optanesim.G1Config(1))
+
+	var heap *optanesim.Heap
+	if onDRAM {
+		heap = optanesim.NewDRAMHeap(optanesim.CCEHHeapFor(prebuild + 2*inserts))
+	} else {
+		heap = optanesim.NewPMHeap(optanesim.CCEHHeapFor(prebuild + 2*inserts))
+	}
+	free := optanesim.NewFreeSession(heap)
+	table := optanesim.NewCCEH(free, heap, 8)
+	table.InsertBatch(free, optanesim.SequenceKeys(1<<40, prebuild), nil)
+
+	keys := optanesim.SequenceKeys(1<<41, inserts)
+	prog := &optanesim.CCEHProgress{}
+	var busy optanesim.Cycles
+	sys.Go("worker", 0, false, func(t *optanesim.Thread) {
+		s := optanesim.NewSession(t, heap)
+		start := t.Now()
+		table.InsertBatch(s, keys, prog)
+		busy = t.Now() - start
+	})
+	if helper {
+		sys.Go("helper", 0, false, func(t *optanesim.Thread) {
+			s := optanesim.NewSession(t, heap)
+			table.Helper(s, keys, prog)
+		})
+	}
+	sys.Run()
+
+	// Verify the data structure actually contains everything.
+	for _, k := range keys {
+		if _, found := table.Lookup(free, k); !found {
+			return 0, false
+		}
+	}
+	return float64(busy) / float64(inserts), true
+}
+
+func main() {
+	for _, dev := range []struct {
+		name   string
+		onDRAM bool
+	}{{"Optane PM", false}, {"DRAM", true}} {
+		base, ok1 := run(dev.onDRAM, false)
+		help, ok2 := run(dev.onDRAM, true)
+		if !ok1 || !ok2 {
+			fmt.Printf("%s: verification FAILED\n", dev.name)
+			continue
+		}
+		delta := 100 * (base - help) / base
+		fmt.Printf("%-9s  insert latency: %6.0f cycles -> %6.0f with helper (%+.1f%%)\n",
+			dev.name, base, help, delta)
+	}
+	fmt.Println("\nThe helper thread pays off only where random media reads dominate —")
+	fmt.Println("on DRAM it merely burns the sibling hyperthread (the paper's Fig. 10).")
+}

@@ -1,0 +1,60 @@
+// Kvstore: a FlatStore-style log-structured KV store (the design the
+// paper's related work credits with "coalescing small writes into full
+// XPLines") built from this repository's pieces: a CCEH index plus an
+// append-only PM value log, comparing per-op persists against
+// XPLine-batched appends.
+package main
+
+import (
+	"fmt"
+
+	"optanesim"
+)
+
+const puts = 15000
+
+func run(batched bool) (cyclesPerPut float64, mediaPerPut float64) {
+	sys := optanesim.MustNewSystem(optanesim.G1Config(1))
+	heap := optanesim.NewPMHeap(optanesim.CCEHHeapFor(puts) + uint64(puts+1024)*64 + (4 << 20))
+	free := optanesim.NewFreeSession(heap)
+	mode := optanesim.KVPerOp
+	if batched {
+		mode = optanesim.KVBatched
+	}
+	store := optanesim.NewKVStore(free, heap, mode, uint64(puts+1024)*64)
+	keys := optanesim.SequenceKeys(51, puts)
+
+	var cycles float64
+	sys.Go("writer", 0, false, func(t *optanesim.Thread) {
+		s := optanesim.NewSession(t, heap)
+		start := t.Now()
+		for i, k := range keys {
+			if err := store.Put(s, k, uint64(i)); err != nil {
+				panic(err)
+			}
+		}
+		if err := store.Sync(s); err != nil {
+			panic(err)
+		}
+		cycles = float64(t.Now() - start)
+	})
+	sys.Run()
+
+	for i, k := range keys {
+		if v, ok := store.Get(free, k); !ok || v != uint64(i) {
+			panic("verification failed")
+		}
+	}
+	c := sys.PMCounters()
+	return cycles / puts, float64(c.MediaWriteBytes) / puts
+}
+
+func main() {
+	perOpCyc, perOpMedia := run(false)
+	batchCyc, batchMedia := run(true)
+	fmt.Printf("per-op persists: %6.0f cycles/put, %5.0f media bytes/put\n", perOpCyc, perOpMedia)
+	fmt.Printf("XPLine-batched:  %6.0f cycles/put, %5.0f media bytes/put (%.0f%% faster)\n",
+		batchCyc, batchMedia, 100*(perOpCyc-batchCyc)/perOpCyc)
+	fmt.Println("\nThe on-DIMM write buffer already coalesces sequential appends (§3.2),")
+	fmt.Println("so batching's win is in persistence barriers: one fence per XPLine.")
+}

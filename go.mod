@@ -1,0 +1,3 @@
+module optanesim
+
+go 1.22

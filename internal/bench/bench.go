@@ -1,0 +1,116 @@
+// Package bench contains one driver per table and figure of the paper's
+// evaluation. Each driver constructs a fresh simulated testbed, runs the
+// paper's microbenchmark (optionally at reduced scale), and returns the
+// same rows/series the paper plots. The cmd/optbench CLI and the root
+// benchmark suite print them.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"optanesim/internal/machine"
+)
+
+// Gen selects a testbed generation.
+type Gen int
+
+// Generations of the testbed.
+const (
+	G1 Gen = 1
+	G2 Gen = 2
+)
+
+func (g Gen) String() string {
+	if g == G2 {
+		return "G2"
+	}
+	return "G1"
+}
+
+// Config returns the machine configuration for the generation with n
+// cores.
+func (g Gen) Config(cores int) machine.Config {
+	if g == G2 {
+		return machine.G2Config(cores)
+	}
+	return machine.G1Config(cores)
+}
+
+// KB and MB are sizing helpers for working-set sweeps.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// HumanBytes renders a byte count the way the paper's axes do.
+func HumanBytes(n int) string {
+	switch {
+	case n >= GB && n%GB == 0:
+		return fmt.Sprintf("%dGB", n/GB)
+	case n >= MB && n%MB == 0:
+		return fmt.Sprintf("%dMB", n/MB)
+	case n >= KB && n%KB == 0:
+		return fmt.Sprintf("%dKB", n/KB)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// LogSweep returns a geometric sweep of working-set sizes from lo to hi
+// (inclusive), doubling each step.
+func LogSweep(lo, hi int) []int {
+	var out []int
+	for w := lo; w <= hi; w *= 2 {
+		out = append(out, w)
+	}
+	return out
+}
+
+// LinSweep returns an arithmetic sweep from lo to hi inclusive in the
+// given step.
+func LinSweep(lo, hi, step int) []int {
+	var out []int
+	for w := lo; w <= hi; w += step {
+		out = append(out, w)
+	}
+	return out
+}
+
+// Table renders rows of columns with a header, right-aligning numerics
+// well enough for terminal reading.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F formats a float with two decimals for table cells.
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// F1 formats a float with one decimal.
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }

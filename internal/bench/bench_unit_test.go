@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[int]string{
+		512:       "512B",
+		2 * KB:    "2KB",
+		36 * KB:   "36KB",
+		16 * MB:   "16MB",
+		1 * GB:    "1GB",
+		3*KB + 12: "3084B",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSweeps(t *testing.T) {
+	log := LogSweep(4*KB, 32*KB)
+	want := []int{4 * KB, 8 * KB, 16 * KB, 32 * KB}
+	if len(log) != len(want) {
+		t.Fatalf("LogSweep = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("LogSweep = %v, want %v", log, want)
+		}
+	}
+	lin := LinSweep(2, 8, 2)
+	if len(lin) != 4 || lin[0] != 2 || lin[3] != 8 {
+		t.Fatalf("LinSweep = %v", lin)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "bb"}, [][]string{{"1", "2"}, {"333", "4"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	// All lines are the same width (right-aligned columns).
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[0]) {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+}
+
+func TestGenConfig(t *testing.T) {
+	if G1.String() != "G1" || G2.String() != "G2" {
+		t.Fatal("Gen strings wrong")
+	}
+	if G1.Config(3).CPU.Generation != 1 || G2.Config(2).CPU.Generation != 2 {
+		t.Fatal("Gen.Config wired to wrong CPU profile")
+	}
+	if G1.Config(3).Cores != 3 {
+		t.Fatal("core count not propagated")
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	var f2 Fig2Options
+	f2.defaults()
+	if f2.Gen != G1 || len(f2.WSS) == 0 || f2.Passes <= 0 {
+		t.Fatal("Fig2Options defaults broken")
+	}
+	var f6 Fig6Options
+	f6.defaults()
+	if f6.WSS[0] != 4*KB || f6.WSS[len(f6.WSS)-1] != 1*GB {
+		t.Fatalf("Fig6 sweep = %v", f6.WSS)
+	}
+	var f7 Fig7Options
+	f7.defaults()
+	if f7.Distances[0] != 0 || f7.Distances[1] != 1 || f7.Distances[len(f7.Distances)-1] != 40 {
+		t.Fatalf("Fig7 distances = %v", f7.Distances)
+	}
+	var f14 Fig14Options
+	f14.Gen = G2
+	f14.defaults()
+	if f14.Threads[len(f14.Threads)-1] != 24 {
+		t.Fatal("G2 Fig14 should sweep to 24 threads")
+	}
+	var t1 Table1Options
+	t1.defaults()
+	if t1.PrebuildKeys < 100*t1.InsertsPerThread {
+		t.Fatal("Table1 defaults must keep measured batches metadata-cold")
+	}
+}
+
+func TestPrefetchSettingConfig(t *testing.T) {
+	if PFNone.Config().Any() {
+		t.Fatal("PFNone enables a prefetcher")
+	}
+	if !PFHardware.Config().HW || PFHardware.Config().DCU {
+		t.Fatal("PFHardware config wrong")
+	}
+	if !PFAdjacent.Config().Adjacent || !PFDCUStreamer.Config().DCU {
+		t.Fatal("prefetch setting configs wrong")
+	}
+	names := map[PrefetchSetting]string{
+		PFNone: "none", PFHardware: "hardware", PFAdjacent: "adjacent", PFDCUStreamer: "dcu",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	for _, out := range []string{
+		FormatFig2([]Fig2Point{{WSSBytes: 4 * KB, RA: [4]float64{4, 2, 1.33, 1}}}),
+		FormatFig3([]Fig3Point{{WSSBytes: 8 * KB}}),
+		FormatFig4([]Fig4Point{{WSSBytes: 8 * KB, HitRatio: map[Gen]float64{G1: 1, G2: 1}}}),
+		FormatFig6(G1, PFNone, []Fig6Point{{WSSBytes: 4 * KB, PMRatio: 1, IMCRatio: 1}}),
+		FormatFig8(G1, Fig8Strict, []Fig8Series{{Label: "x", Points: []Fig8Point{{WSSBytes: 4 * KB, Cycles: 1}}}}),
+		FormatTable1([]Table1Row{{Threads: 1, DIMMs: 1, SegmentMeta: 50, Persists: 25, Misc: 25}}),
+		FormatFig10(Fig10Options{}, []Fig10Point{{Workers: 1}}),
+		FormatFig12(G1, []Fig12Point{{Threads: 1}}),
+		FormatFig13(G1, []Fig13Point{{WSSBytes: 4 * KB}}),
+		FormatFig14(G1, []Fig14Point{{Threads: 1}}),
+	} {
+		if !strings.Contains(out, "\n") || len(out) < 20 {
+			t.Fatalf("suspicious formatter output: %q", out)
+		}
+	}
+}
+
+func TestRAPVariantStrings(t *testing.T) {
+	if RAPClwbMFence.String() != "clwb+mfence" ||
+		RAPClwbSFence.String() != "clwb+sfence" ||
+		RAPNTStoreMFence.String() != "nt-store+mfence" {
+		t.Fatal("RAP variant names drifted")
+	}
+}
+
+func TestFig8ModeStrings(t *testing.T) {
+	want := map[Fig8Mode]string{
+		Fig8Strict: "strict", Fig8Relaxed: "relaxed",
+		Fig8PureRead: "pure-read", Fig8PureWrite: "pure-write",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Fatalf("%v.String() = %q", s, m.String())
+		}
+	}
+}

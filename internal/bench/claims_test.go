@@ -1,0 +1,373 @@
+// Integration tests: each test asserts one of the paper's artifact
+// claims (C1-C9) at reduced simulation scale. These are the acceptance
+// criteria of the reproduction; EXPERIMENTS.md records the full-scale
+// numbers.
+package bench
+
+import "testing"
+
+// C1 (Fig. 2): the DIMM has a read buffer that evicts a cacheline once
+// it is loaded into the CPU cache: RA = 4/CpX below the buffer capacity
+// (floor 1, never 0), jumping to 4 beyond it.
+func TestC1ReadBufferExclusivityAndCapacity(t *testing.T) {
+	for _, gen := range []Gen{G1, G2} {
+		knee := 16 * KB
+		if gen == G2 {
+			knee = 22 * KB
+		}
+		pts := Fig2(Fig2Options{Gen: gen, WSS: []int{8 * KB, knee - 2*KB, knee + 4*KB}, Passes: 6})
+		small := pts[0]
+		for cpx := 1; cpx <= 4; cpx++ {
+			want := 4.0 / float64(cpx)
+			got := small.RA[cpx-1]
+			if got < want*0.9 || got > want*1.1 {
+				t.Errorf("%s 8KB CpX=%d: RA=%.2f, want ~%.2f", gen, cpx, got, want)
+			}
+		}
+		atKnee := pts[1]
+		if atKnee.RA[3] > 1.2 {
+			t.Errorf("%s just under the buffer: RA(CpX=4)=%.2f, want ~1", gen, atKnee.RA[3])
+		}
+		big := pts[2]
+		for cpx := 1; cpx <= 4; cpx++ {
+			if big.RA[cpx-1] < 3.5 {
+				t.Errorf("%s beyond the buffer CpX=%d: RA=%.2f, want ~4", gen, cpx, big.RA[cpx-1])
+			}
+		}
+	}
+}
+
+// C3 (Fig. 3): G1's write buffer absorbs partial writes entirely below
+// 12 KB, then WA approaches the per-pattern theoretical limit; full
+// writes are written back periodically (WA ~1 even when small).
+func TestC3WriteBufferWriteback(t *testing.T) {
+	pts := Fig3(Fig3Options{Gen: G1, WSS: []int{8 * KB, 32 * KB}, Passes: 10})
+	small, big := pts[0], pts[1]
+	for frac := 0; frac < 3; frac++ { // 25%, 50%, 75%
+		if small.WA[frac] != 0 {
+			t.Errorf("partial writes below 12KB: WA[%d]=%.2f, want 0", frac, small.WA[frac])
+		}
+	}
+	if small.WA[3] < 0.8 {
+		t.Errorf("full writes below 12KB: WA=%.2f, want ~1 (periodic write-back)", small.WA[3])
+	}
+	// Beyond capacity, WA approaches 4 / 2 / 1.33 / 1.
+	want := []float64{4, 2, 4.0 / 3, 1}
+	for frac := range want {
+		got := big.WA[frac]
+		if got < want[frac]*0.6 || got > want[frac]*1.15 {
+			t.Errorf("32KB WA[%d]=%.2f, want toward %.2f", frac, got, want[frac])
+		}
+	}
+}
+
+// C3b: WA is independent of the across-XPLine access order (§3.2).
+func TestC3WriteOrderIndependent(t *testing.T) {
+	seq := Fig3(Fig3Options{Gen: G1, WSS: []int{24 * KB}, Passes: 8, RandomOrder: false})
+	rnd := Fig3(Fig3Options{Gen: G1, WSS: []int{24 * KB}, Passes: 8, RandomOrder: true})
+	for frac := 0; frac < 4; frac++ {
+		a, b := seq[0].WA[frac], rnd[0].WA[frac]
+		if a < b*0.75 || a > b*1.33 {
+			t.Errorf("WA depends on access order: seq=%.2f rand=%.2f", a, b)
+		}
+	}
+}
+
+// C4 (Fig. 4): G1's hit ratio drops at 12 KB; G2's knee is larger and
+// its decline graceful.
+func TestC4EvictionPolicies(t *testing.T) {
+	pts := Fig4(Fig4Options{WSS: []int{10 * KB, 14 * KB, 32 * KB}, Writes: 12000})
+	if pts[0].HitRatio[G1] < 0.95 || pts[0].HitRatio[G2] < 0.95 {
+		t.Errorf("10KB WSS should fit both buffers: %+v", pts[0].HitRatio)
+	}
+	// At 14 KB, G1 is past its knee, G2 is not.
+	if pts[1].HitRatio[G1] > 0.9 {
+		t.Errorf("G1 hit ratio at 14KB = %.2f, want a drop past the 12KB knee", pts[1].HitRatio[G1])
+	}
+	if pts[1].HitRatio[G2] < 0.95 {
+		t.Errorf("G2 hit ratio at 14KB = %.2f, want ~1 (knee > 12KB)", pts[1].HitRatio[G2])
+	}
+	if pts[2].HitRatio[G1] > 0.5 || pts[2].HitRatio[G2] > 0.6 {
+		t.Errorf("32KB hit ratios too high: %+v", pts[2].HitRatio)
+	}
+}
+
+// C2 (Fig. 6): without CPU prefetching there is no noticeable on-DIMM
+// prefetching; with it, the PM read ratio exceeds the iMC's because a
+// mispredicted cacheline costs a whole XPLine.
+func TestC2PrefetchWaste(t *testing.T) {
+	wss := []int{8 * KB, 4 * MB, 256 * MB}
+	ratios := make(map[PrefetchSetting][]Fig6Point)
+	for _, set := range []PrefetchSetting{PFNone, PFHardware, PFAdjacent, PFDCUStreamer} {
+		ratios[set] = Fig6(Fig6Options{Gen: G1, Setting: set, WSS: wss, MaxVisits: 15000})
+	}
+	// No prefetch: both ratios ~1 everywhere.
+	for _, p := range ratios[PFNone] {
+		if p.PMRatio > 1.1 || p.IMCRatio > 1.1 {
+			t.Errorf("no-prefetch ratios at %s: PM=%.2f iMC=%.2f", HumanBytes(p.WSSBytes), p.PMRatio, p.IMCRatio)
+		}
+	}
+	// Region 1: prefetched data hits the read buffer; no waste.
+	for set, pts := range ratios {
+		if pts[0].PMRatio > 1.15 {
+			t.Errorf("%v at 8KB: PM ratio %.2f, want ~1 (read buffer absorbs prefetch)", set, pts[0].PMRatio)
+		}
+	}
+	// Region 2 (fits LLC): iMC ratio stays ~1 while PM ratio grows.
+	mid := ratios[PFAdjacent][1]
+	if mid.IMCRatio > 1.12 {
+		t.Errorf("region 2 iMC ratio %.2f, want ~1 (prefetches become LLC hits)", mid.IMCRatio)
+	}
+	if mid.PMRatio < 1.2 {
+		t.Errorf("region 2 PM ratio %.2f, want waste > 1.2", mid.PMRatio)
+	}
+	// Region 3: PM ratio ordering by aggressiveness, PM >= iMC.
+	big := func(s PrefetchSetting) Fig6Point { return ratios[s][2] }
+	if !(big(PFDCUStreamer).PMRatio > big(PFHardware).PMRatio &&
+		big(PFAdjacent).PMRatio > big(PFHardware).PMRatio &&
+		big(PFHardware).PMRatio > 1.1) {
+		t.Errorf("region 3 PM ratios out of order: hw=%.2f adj=%.2f dcu=%.2f",
+			big(PFHardware).PMRatio, big(PFAdjacent).PMRatio, big(PFDCUStreamer).PMRatio)
+	}
+	for _, set := range []PrefetchSetting{PFHardware, PFAdjacent, PFDCUStreamer} {
+		if big(set).PMRatio < big(set).IMCRatio-0.05 {
+			t.Errorf("%v: PM ratio (%.2f) below iMC ratio (%.2f)", set, big(set).PMRatio, big(set).IMCRatio)
+		}
+	}
+}
+
+// C5 (Fig. 7): reading a recently persisted line is ~10x slower on G1
+// PM (mfence); sfence keeps distance<=1 cheap; G2 fixes clwb but not
+// nt-store; DRAM's gap is ~2x; remote is worse than local.
+func TestC5ReadAfterPersist(t *testing.T) {
+	opts := Fig7Options{Distances: []int{0, 1, 40}, Passes: 15}
+
+	runCell := func(gen Gen, v RAPVariant, pm, remote bool) []Fig7Point {
+		o := opts
+		o.Gen = gen
+		o.Variant = v
+		o.PM = pm
+		o.Remote = remote
+		return Fig7(o)
+	}
+
+	g1m := runCell(G1, RAPClwbMFence, true, false)
+	if g1m[0].Cycles < 4*g1m[2].Cycles {
+		t.Errorf("G1 mfence RAP gap: d0=%.0f d40=%.0f, want ~10x", g1m[0].Cycles, g1m[2].Cycles)
+	}
+	g1s := runCell(G1, RAPClwbSFence, true, false)
+	if g1s[0].Cycles > 400 || g1s[1].Cycles > 400 {
+		t.Errorf("G1 sfence d<=1 should bypass from cache: d0=%.0f d1=%.0f", g1s[0].Cycles, g1s[1].Cycles)
+	}
+	g1rm := runCell(G1, RAPClwbMFence, true, true)
+	if g1rm[0].Cycles <= g1m[0].Cycles {
+		t.Errorf("remote RAP (%.0f) not worse than local (%.0f)", g1rm[0].Cycles, g1m[0].Cycles)
+	}
+	dm := runCell(G1, RAPClwbMFence, false, false)
+	if dm[0].Cycles > 3.5*dm[2].Cycles {
+		t.Errorf("DRAM RAP gap too large: d0=%.0f d40=%.0f, want ~2x", dm[0].Cycles, dm[2].Cycles)
+	}
+	// G2: clwb RAP is gone (flat), nt-store still suffers.
+	g2c := runCell(G2, RAPClwbMFence, true, false)
+	if g2c[0].Cycles > 1.5*g2c[2].Cycles {
+		t.Errorf("G2 clwb still has RAP: d0=%.0f d40=%.0f", g2c[0].Cycles, g2c[2].Cycles)
+	}
+	g2n := runCell(G2, RAPNTStoreMFence, true, false)
+	if g2n[0].Cycles < 3*g2n[2].Cycles {
+		t.Errorf("G2 nt-store should keep the RAP hazard: d0=%.0f d40=%.0f", g2n[0].Cycles, g2n[2].Cycles)
+	}
+}
+
+// C6 (Fig. 8): relaxed persistency beats strict below the write-buffer
+// size and converges beyond; write latency is consistent across WSS and
+// patterns while random reads dominate past the LLC.
+func TestC6LatencyDecomposition(t *testing.T) {
+	wss := []int{4 * KB, 1 * MB, 64 * MB}
+	strict := Fig8(Fig8Options{Gen: G1, Mode: Fig8Strict, Random: true, WSS: wss, MaxElements: 40000})
+	relaxed := Fig8(Fig8Options{Gen: G1, Mode: Fig8Relaxed, Random: true, WSS: wss, MaxElements: 40000})
+	if relaxed[0].Cycles > strict[0].Cycles/1.5 {
+		t.Errorf("relaxed (%.0f) should clearly beat strict (%.0f) at 4KB", relaxed[0].Cycles, strict[0].Cycles)
+	}
+	if relaxed[1].Cycles < strict[1].Cycles*0.8 {
+		t.Errorf("persistency models should converge by 1MB: strict=%.0f relaxed=%.0f", strict[1].Cycles, relaxed[1].Cycles)
+	}
+
+	// Pure writes: consistent across WSS and pattern.
+	wseq := Fig8(Fig8Options{Gen: G1, Mode: Fig8PureWrite, Random: false, WSS: []int{1 * MB, 64 * MB}, MaxElements: 30000})
+	wrand := Fig8(Fig8Options{Gen: G1, Mode: Fig8PureWrite, Random: true, WSS: []int{1 * MB, 64 * MB}, MaxElements: 30000})
+	if d := wseq[1].Cycles / wseq[0].Cycles; d > 1.3 || d < 0.7 {
+		t.Errorf("write latency varies with WSS: %.0f vs %.0f", wseq[0].Cycles, wseq[1].Cycles)
+	}
+	if d := wrand[1].Cycles / wseq[1].Cycles; d > 1.3 || d < 0.7 {
+		t.Errorf("write latency varies with pattern: seq=%.0f rand=%.0f", wseq[1].Cycles, wrand[1].Cycles)
+	}
+
+	// Pure reads: cheap within caches, expensive beyond, random > seq.
+	rseq := Fig8(Fig8Options{Gen: G1, Mode: Fig8PureRead, Random: false, WSS: []int{1 * MB, 64 * MB}, MaxElements: 40000})
+	rrand := Fig8(Fig8Options{Gen: G1, Mode: Fig8PureRead, Random: true, WSS: []int{1 * MB, 64 * MB}, MaxElements: 40000})
+	if rseq[0].Cycles > 60 {
+		t.Errorf("cached read latency %.0f, want L1/L2 scale", rseq[0].Cycles)
+	}
+	if rrand[1].Cycles < 400 {
+		t.Errorf("random media read latency %.0f, want ~600-800", rrand[1].Cycles)
+	}
+	if rrand[1].Cycles < 1.5*rseq[1].Cycles {
+		t.Errorf("prefetching should make sequential reads cheaper: seq=%.0f rand=%.0f", rseq[1].Cycles, rrand[1].Cycles)
+	}
+	// Beyond the LLC, reads dominate writes (the paper's headline).
+	if rrand[1].Cycles < wrand[1].Cycles {
+		t.Errorf("random reads (%.0f) should outweigh writes (%.0f) beyond the LLC", rrand[1].Cycles, wrand[1].Cycles)
+	}
+}
+
+// Table 1: segment access dominates CCEH insertion time in every
+// configuration.
+func TestTable1SegmentDominates(t *testing.T) {
+	rows := Table1(Table1Options{PrebuildKeys: 800_000, InsertsPerThread: 1_200})
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SegmentMeta < r.Persists || r.SegmentMeta < 30 {
+			t.Errorf("%dT/%d-DIMM: segment %.1f%% persists %.1f%% misc %.1f%% — segment must dominate",
+				r.Threads, r.DIMMs, r.SegmentMeta, r.Persists, r.Misc)
+		}
+		sum := r.SegmentMeta + r.Persists + r.Misc
+		if sum < 99.5 || sum > 100.5 {
+			t.Errorf("breakdown does not sum to 100%%: %.1f", sum)
+		}
+	}
+}
+
+// C7 (Fig. 10): helper-thread prefetching improves CCEH on PM at low
+// worker counts and does not improve it on DRAM.
+func TestC7HelperThread(t *testing.T) {
+	opts := Fig10Options{Workers: []int{1}, PrebuildKeys: 900_000, TotalInserts: 4_000}
+	pm := Fig10(opts)[0]
+	if pm.HelpCycles > pm.BaseCycles*0.85 {
+		t.Errorf("PM helper gain too small: base=%.0f helper=%.0f", pm.BaseCycles, pm.HelpCycles)
+	}
+	if pm.HelpMops < pm.BaseMops {
+		t.Errorf("PM helper throughput regressed: %.2f -> %.2f", pm.BaseMops, pm.HelpMops)
+	}
+	opts.OnDRAM = true
+	dr := Fig10(opts)[0]
+	if dr.HelpCycles < dr.BaseCycles*0.97 {
+		t.Errorf("DRAM helper should not help: base=%.0f helper=%.0f", dr.BaseCycles, dr.HelpCycles)
+	}
+}
+
+// C8 (Fig. 12): redo logging beats in-place updates on G1 but not G2.
+func TestC8RedoLogging(t *testing.T) {
+	opts := Fig12Options{Threads: []int{1}, PrebuildKeys: 150_000, InsertsPerThread: 1_200}
+	opts.Gen = G1
+	g1 := Fig12(opts)[0]
+	if g1.RedoCycles > g1.InPlaceCycles*0.75 {
+		t.Errorf("G1 redo should win: in-place=%.0f redo=%.0f", g1.InPlaceCycles, g1.RedoCycles)
+	}
+	if g1.RedoMops < g1.InPlaceMops {
+		t.Errorf("G1 redo throughput regressed: %.2f vs %.2f", g1.RedoMops, g1.InPlaceMops)
+	}
+	opts.Gen = G2
+	g2 := Fig12(opts)[0]
+	if g2.RedoCycles < g2.InPlaceCycles {
+		t.Errorf("G2 redo should not win: in-place=%.0f redo=%.0f", g2.InPlaceCycles, g2.RedoCycles)
+	}
+}
+
+// C9 (Figs. 13-14): redirection removes the misprefetch waste and wins
+// once enough threads contend for PM bandwidth.
+func TestC9Redirection(t *testing.T) {
+	pts := Fig13(Fig13Options{Gen: G1, WSS: []int{256 * MB}, MaxVisits: 10000})
+	if pts[0].PMRatio < 1.5 {
+		t.Errorf("baseline PM ratio %.2f, want ~2 (misprefetch waste)", pts[0].PMRatio)
+	}
+	if pts[0].OptimizedPM > 1.1 {
+		t.Errorf("optimized PM ratio %.2f, want ~1", pts[0].OptimizedPM)
+	}
+
+	perf := Fig14(Fig14Options{Gen: G1, Threads: []int{1, 16}, BlocksPerThread: 3000})
+	oneThread, many := perf[0], perf[1]
+	if oneThread.OptCycles < oneThread.BaseCycles {
+		t.Errorf("redirection should cost extra at 1 thread: base=%.0f opt=%.0f", oneThread.BaseCycles, oneThread.OptCycles)
+	}
+	if many.OptGBs < many.BaseGBs*1.2 {
+		t.Errorf("redirection should win at 16 threads: base=%.2f opt=%.2f GB/s", many.BaseGBs, many.OptGBs)
+	}
+}
+
+// C7b (Fig. 10 / E7): on a single DIMM the helper's benefit fades as
+// workers saturate the device, but with 6 interleaved DIMMs it is
+// sustained — "the improvement may fade away faster with fewer DIMMs".
+func TestC7HelperFadesOnlyWithFewDIMMs(t *testing.T) {
+	run := func(dimms, workers int) Fig10Point {
+		return Fig10(Fig10Options{
+			Workers: []int{workers}, DIMMs: dimms,
+			PrebuildKeys: 900_000, TotalInserts: 8_000,
+		})[0]
+	}
+	one := run(1, 10)
+	six := run(6, 10)
+	if six.HelpCycles > six.BaseCycles*0.8 {
+		t.Errorf("6-DIMM helper gain should persist at 10 workers: base=%.0f helper=%.0f",
+			six.BaseCycles, six.HelpCycles)
+	}
+	sixGain := (six.BaseCycles - six.HelpCycles) / six.BaseCycles
+	oneGain := (one.BaseCycles - one.HelpCycles) / one.BaseCycles
+	if oneGain >= sixGain {
+		t.Errorf("single-DIMM gain (%.2f) should fade below 6-DIMM gain (%.2f)", oneGain, sixGain)
+	}
+}
+
+// C6b: epoch persistency sits between strict and relaxed at small WSS
+// (fewer fences than strict, more than relaxed) and converges with both
+// at the media-bound plateau.
+func TestC6EpochPersistency(t *testing.T) {
+	wss := []int{4 * KB, 4 * MB}
+	opt := func(m Fig8Mode) []Fig8Point {
+		return Fig8(Fig8Options{Gen: G1, Mode: m, Random: true, WSS: wss, MaxElements: 25000, EpochLen: 2})
+	}
+	strict, epoch, relaxed := opt(Fig8Strict), opt(Fig8Epoch), opt(Fig8Relaxed)
+	if !(relaxed[0].Cycles < epoch[0].Cycles && epoch[0].Cycles < strict[0].Cycles) {
+		t.Errorf("4KB ordering violated: relaxed=%.0f epoch=%.0f strict=%.0f",
+			relaxed[0].Cycles, epoch[0].Cycles, strict[0].Cycles)
+	}
+	if d := epoch[1].Cycles / strict[1].Cycles; d < 0.85 || d > 1.15 {
+		t.Errorf("models should converge at 4MB: epoch=%.0f strict=%.0f",
+			epoch[1].Cycles, strict[1].Cycles)
+	}
+}
+
+// C3c (G2 fig3): without periodic write-back, G2's full-write WA stays 0
+// below its knee and all four fractions rise gracefully beyond it.
+func TestC3G2Graceful(t *testing.T) {
+	pts := Fig3(Fig3Options{Gen: G2, WSS: []int{12 * KB, 16 * KB, 32 * KB}, Passes: 8})
+	for frac := 0; frac < 4; frac++ {
+		if pts[0].WA[frac] != 0 || pts[1].WA[frac] != 0 {
+			t.Errorf("G2 WA[%d] below the knee: %v / %v", frac, pts[0].WA[frac], pts[1].WA[frac])
+		}
+	}
+	// Past the knee everything is nonzero, ordered by write fraction
+	// (partial writes amplify more).
+	last := pts[2]
+	if last.WA[0] <= last.WA[1] || last.WA[1] <= last.WA[2] || last.WA[2] <= last.WA[3] {
+		t.Errorf("G2 WA ordering at 32KB: %v", last.WA)
+	}
+	if last.WA[3] <= 0 {
+		t.Errorf("G2 full writes never reached the media: %v", last.WA)
+	}
+}
+
+// C6c (G2 fig8): the G2 platform shifts latencies up (coherence and
+// buffer-hit costs) but keeps the same structure.
+func TestC6G2Shape(t *testing.T) {
+	wss := []int{1 * MB, 64 * MB}
+	g1 := Fig8(Fig8Options{Gen: G1, Mode: Fig8PureRead, Random: true, WSS: wss, MaxElements: 25000})
+	g2 := Fig8(Fig8Options{Gen: G2, Mode: Fig8PureRead, Random: true, WSS: wss, MaxElements: 25000})
+	if g2[1].Cycles <= g1[1].Cycles {
+		t.Errorf("G2 media reads should cost more cycles: %v vs %v", g2[1].Cycles, g1[1].Cycles)
+	}
+	if g2[1].Cycles < 2*g2[0].Cycles {
+		t.Errorf("G2 should keep the beyond-LLC structure: %v vs %v", g2[0].Cycles, g2[1].Cycles)
+	}
+}

@@ -1,0 +1,41 @@
+package bench
+
+import "testing"
+
+// §2.2 background: read bandwidth scales with threads and exceeds write
+// bandwidth at scale; write bandwidth saturates almost immediately.
+func TestBandwidthCharacteristics(t *testing.T) {
+	pts := Bandwidth(BandwidthOptions{Threads: []int{1, 4, 16}, BytesPerThread: 1 * MB})
+	t.Log("\n" + FormatBandwidth(BandwidthOptions{}, pts))
+	one, four, sixteen := pts[0], pts[1], pts[2]
+	if four.ReadGBs < 1.8*one.ReadGBs {
+		t.Errorf("read bandwidth should scale with threads: %v -> %v", one.ReadGBs, four.ReadGBs)
+	}
+	if sixteen.WriteGBs > 1.25*one.WriteGBs {
+		t.Errorf("write bandwidth should saturate at low thread counts: %v -> %v", one.WriteGBs, sixteen.WriteGBs)
+	}
+	if sixteen.ReadGBs < 1.8*sixteen.WriteGBs {
+		t.Errorf("peak read bandwidth should far exceed write: %v vs %v", sixteen.ReadGBs, sixteen.WriteGBs)
+	}
+}
+
+// Extension: YCSB mixes — more updates mean more persists and lower
+// throughput; Zipfian reads mostly hit the caches (low p50, heavy tail).
+func TestYCSBMixes(t *testing.T) {
+	o := YCSBOptions{TableKeys: 400000, Ops: 10000}
+	res := YCSB(o)
+	t.Log("\n" + FormatYCSB(o, res))
+	a, b, c := res[0], res[1], res[2]
+	if !(c.Mops >= b.Mops && b.Mops >= a.Mops) {
+		t.Errorf("throughput ordering violated: A=%.2f B=%.2f C=%.2f", a.Mops, b.Mops, c.Mops)
+	}
+	if c.Update.Count() != 0 {
+		t.Error("workload C performed updates")
+	}
+	if b.Read.P50() > 100 {
+		t.Errorf("zipfian reads should mostly hit caches: p50=%v", b.Read.P50())
+	}
+	if b.Read.P99() < 5*b.Read.P50() {
+		t.Errorf("read tail should be media-bound: p50=%v p99=%v", b.Read.P50(), b.Read.P99())
+	}
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"optanesim/internal/cceh"
+	"optanesim/internal/machine"
+	"optanesim/internal/pmem"
+	"optanesim/internal/sim"
+	"optanesim/internal/workload"
+)
+
+// Fig10Point is one x-position of Fig. 10 for one device: CCEH insert
+// latency and throughput with and without the helper-thread prefetcher.
+type Fig10Point struct {
+	Workers int
+	// BaseCycles / HelpCycles are average cycles per insert.
+	BaseCycles, HelpCycles float64
+	// BaseMops / HelpMops are throughput in million ops/second.
+	BaseMops, HelpMops float64
+}
+
+// Fig10Options scales the experiment.
+type Fig10Options struct {
+	Gen Gen
+	// OnDRAM places the hash table in DRAM (panels c and d).
+	OnDRAM bool
+	// DIMMs is the PM interleave width (the paper's Fig. 10 uses 1).
+	DIMMs int
+	// Workers are the x positions; nil uses 1..10.
+	Workers []int
+	// PrebuildKeys sizes the table before measurement.
+	PrebuildKeys int
+	// TotalInserts is the measured insert count, split across workers.
+	TotalInserts int
+}
+
+func (o *Fig10Options) defaults() {
+	if o.Gen == 0 {
+		o.Gen = G1
+	}
+	if o.DIMMs <= 0 {
+		o.DIMMs = 1
+	}
+	if o.Workers == nil {
+		for w := 1; w <= 10; w++ {
+			o.Workers = append(o.Workers, w)
+		}
+	}
+	if o.PrebuildKeys <= 0 {
+		o.PrebuildKeys = 2_000_000
+	}
+	if o.TotalInserts <= 0 {
+		o.TotalInserts = 12_000
+	}
+}
+
+// Fig10 reproduces §4.1's Fig. 10: CCEH insert latency and throughput
+// versus worker count, with and without a speculative helper thread
+// bound to each worker's sibling hyperthread, on PM or DRAM.
+func Fig10(o Fig10Options) []Fig10Point {
+	o.defaults()
+	points := make([]Fig10Point, 0, len(o.Workers))
+	for _, w := range o.Workers {
+		baseCyc, baseMops := fig10Run(o, w, false)
+		helpCyc, helpMops := fig10Run(o, w, true)
+		points = append(points, Fig10Point{
+			Workers:    w,
+			BaseCycles: baseCyc, HelpCycles: helpCyc,
+			BaseMops: baseMops, HelpMops: helpMops,
+		})
+	}
+	return points
+}
+
+func fig10Run(o Fig10Options, workers int, helper bool) (cyclesPerInsert, mops float64) {
+	mcfg := o.Gen.Config(workers)
+	mcfg.PMDIMMs = o.DIMMs
+	sys := machine.MustNewSystem(mcfg)
+
+	total := o.PrebuildKeys + 4*o.TotalInserts
+	var heap *pmem.Heap
+	if o.OnDRAM {
+		heap = pmem.NewDRAMHeap(cceh.HeapFor(total))
+	} else {
+		heap = pmem.NewPMHeap(cceh.HeapFor(total))
+	}
+	free := pmem.NewFreeSession(heap)
+	tbl := cceh.New(free, heap, 8)
+	tbl.InsertBatch(free, workload.SequenceKeys(1<<40, o.PrebuildKeys), nil)
+
+	perWorker := o.TotalInserts / workers
+	warmPer := perWorker / 8
+
+	var busy sim.Cycles
+	var inserted int
+	var endMax sim.Cycles
+	for w := 0; w < workers; w++ {
+		warm := workload.SequenceKeys(1<<41|uint64(w)<<32, warmPer)
+		keys := workload.SequenceKeys(1<<42|uint64(w)<<32, perWorker)
+		all := append(append([]uint64{}, warm...), keys...)
+		prog := &cceh.Progress{}
+		sys.Go(fmt.Sprintf("worker-%d", w), w, false, func(t *machine.Thread) {
+			s := pmem.NewSession(t, heap)
+			var start sim.Cycles
+			for i, k := range all {
+				prog.Next = i
+				if i == warmPer {
+					start = t.Now()
+				}
+				s.Tag(cceh.TagMisc)
+				s.Compute(cceh.YCSBClientCycles)
+				if err := tbl.Insert(s, k, k^0xABCD); err != nil {
+					panic(err)
+				}
+			}
+			prog.Done = true
+			busy += t.Now() - start
+			if t.Now() > endMax {
+				endMax = t.Now()
+			}
+			inserted += perWorker
+		})
+		if helper {
+			sys.Go(fmt.Sprintf("helper-%d", w), w, false, func(t *machine.Thread) {
+				s := pmem.NewSession(t, heap)
+				tbl.Helper(s, all, prog)
+			})
+		}
+	}
+	sys.Run()
+
+	cyclesPerInsert = float64(busy) / float64(inserted)
+	secs := sys.CyclesToSeconds(endMax)
+	if secs > 0 {
+		mops = float64(inserted) / secs / 1e6
+	}
+	return cyclesPerInsert, mops
+}
+
+// FormatFig10 renders one device panel pair of Fig. 10.
+func FormatFig10(o Fig10Options, points []Fig10Point) string {
+	dev := "PM"
+	if o.OnDRAM {
+		dev = "DRAM"
+	}
+	header := []string{"workers", "lat(base)", "lat(helper)", "Mops(base)", "Mops(helper)"}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Workers),
+			F1(p.BaseCycles), F1(p.HelpCycles),
+			F(p.BaseMops), F(p.HelpMops),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: CCEH with helper-thread prefetching on %s (%s)\n", dev, o.Gen)
+	b.WriteString(Table(header, rows))
+	return b.String()
+}

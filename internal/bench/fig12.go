@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"optanesim/internal/btree"
+	"optanesim/internal/machine"
+	"optanesim/internal/pmem"
+	"optanesim/internal/sim"
+	"optanesim/internal/workload"
+)
+
+// Fig12Point is one x-position of Fig. 12: B+-tree insert performance
+// for both update strategies at one thread count.
+type Fig12Point struct {
+	Threads int
+	// InPlaceCycles / RedoCycles are average cycles per insert.
+	InPlaceCycles, RedoCycles float64
+	// InPlaceMops / RedoMops are throughput in Mops/s.
+	InPlaceMops, RedoMops float64
+}
+
+// Fig12Options scales the experiment.
+type Fig12Options struct {
+	Gen Gen
+	// Threads are the x positions; nil uses 1..9 odd counts.
+	Threads []int
+	// PrebuildKeys sizes the tree before measurement.
+	PrebuildKeys int
+	// InsertsPerThread is the measured insert count per thread.
+	InsertsPerThread int
+}
+
+func (o *Fig12Options) defaults() {
+	if o.Gen == 0 {
+		o.Gen = G1
+	}
+	if o.Threads == nil {
+		o.Threads = []int{1, 3, 5, 7, 9}
+	}
+	if o.PrebuildKeys <= 0 {
+		o.PrebuildKeys = 800_000
+	}
+	if o.InsertsPerThread <= 0 {
+		o.InsertsPerThread = 4_000
+	}
+}
+
+// Fig12 reproduces §4.2's Fig. 12: insert latency and throughput of the
+// FAST & FAIR-style B+-tree with in-place (per-shift persistence
+// barrier) versus out-of-place (redo-log) updates, on a single DIMM.
+func Fig12(o Fig12Options) []Fig12Point {
+	o.defaults()
+	points := make([]Fig12Point, 0, len(o.Threads))
+	for _, th := range o.Threads {
+		inCyc, inMops := fig12Run(o, th, btree.InPlace)
+		rdCyc, rdMops := fig12Run(o, th, btree.RedoLog)
+		points = append(points, Fig12Point{
+			Threads:       th,
+			InPlaceCycles: inCyc, RedoCycles: rdCyc,
+			InPlaceMops: inMops, RedoMops: rdMops,
+		})
+	}
+	return points
+}
+
+func fig12Run(o Fig12Options, threads int, mode btree.Mode) (cyclesPerInsert, mops float64) {
+	sys := machine.MustNewSystem(o.Gen.Config(threads))
+
+	total := o.PrebuildKeys + threads*o.InsertsPerThread
+	// ~14 keys per 512 B node at steady state, plus log regions.
+	heap := pmem.NewPMHeap(uint64(total)*48 + (64 << 20))
+	dramHeap := pmem.NewDRAMHeap(uint64(threads+1)*btree.LogEntries*64 + (1 << 20))
+	free := pmem.NewFreeSession(heap)
+	tr := btree.New(free, heap, mode)
+	fw := tr.NewWriter(free, nil)
+	for _, k := range workload.SequenceKeys(1<<40, o.PrebuildKeys) {
+		if err := tr.Insert(fw, k, k); err != nil {
+			panic(err)
+		}
+	}
+
+	var busy sim.Cycles
+	var inserted int
+	var endMax sim.Cycles
+	for w := 0; w < threads; w++ {
+		keys := workload.SequenceKeys(1<<41|uint64(w)<<32, o.InsertsPerThread)
+		sys.Go(fmt.Sprintf("writer-%d", w), w, false, func(t *machine.Thread) {
+			s := pmem.NewSession(t, heap, dramHeap)
+			wr := tr.NewWriter(s, dramHeap)
+			start := t.Now()
+			for _, k := range keys {
+				if err := tr.Insert(wr, k, k^0x55AA); err != nil {
+					panic(err)
+				}
+			}
+			busy += t.Now() - start
+			if t.Now() > endMax {
+				endMax = t.Now()
+			}
+			inserted += len(keys)
+		})
+	}
+	sys.Run()
+
+	cyclesPerInsert = float64(busy) / float64(inserted)
+	secs := sys.CyclesToSeconds(endMax)
+	if secs > 0 {
+		mops = float64(inserted) / secs / 1e6
+	}
+	return cyclesPerInsert, mops
+}
+
+// FormatFig12 renders one generation's Fig. 12 panels.
+func FormatFig12(gen Gen, points []Fig12Point) string {
+	header := []string{"threads", "lat(in-place)", "lat(redo)", "Mops(in-place)", "Mops(redo)"}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Threads),
+			F1(p.InPlaceCycles), F1(p.RedoCycles),
+			F(p.InPlaceMops), F(p.RedoMops),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: FAST & FAIR B+-tree inserts, single DIMM (%s)\n", gen)
+	b.WriteString(Table(header, rows))
+	return b.String()
+}

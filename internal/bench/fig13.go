@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"optanesim/internal/machine"
+	"optanesim/internal/mem"
+	"optanesim/internal/pmem"
+	"optanesim/internal/sim"
+	"optanesim/internal/trace"
+	"optanesim/internal/xpline"
+)
+
+// Fig13Point is one x-position of Fig. 13: read ratios of the baseline
+// (prefetching) versus the redirected access path.
+type Fig13Point struct {
+	WSSBytes int
+	// IMCRatio / PMRatio are the baseline's read ratios with all
+	// prefetchers on.
+	IMCRatio, PMRatio float64
+	// OptimizedPM is the PM read ratio of the redirected path.
+	OptimizedPM float64
+}
+
+// Fig13Options scales the experiment.
+type Fig13Options struct {
+	Gen Gen
+	// WSS are the working-set sizes; nil uses 4 KB - 1 GB.
+	WSS []int
+	// MaxVisits caps the number of block visits per cell.
+	MaxVisits int
+}
+
+func (o *Fig13Options) defaults() {
+	if o.Gen == 0 {
+		o.Gen = G1
+	}
+	if o.WSS == nil {
+		o.WSS = LogSweep(4*KB, 1*GB)
+	}
+	if o.MaxVisits <= 0 {
+		o.MaxVisits = 40000
+	}
+}
+
+// Fig13 reproduces §4.3's Fig. 13: the §3.4 random-block benchmark with
+// all CPU prefetchers enabled, versus the AVX redirection optimization,
+// measuring the amount of data actually loaded relative to demand.
+func Fig13(o Fig13Options) []Fig13Point {
+	o.defaults()
+	points := make([]Fig13Point, 0, len(o.WSS))
+	for _, wss := range o.WSS {
+		base := fig13Run(o.Gen, wss, o.MaxVisits, false)
+		opt := fig13Run(o.Gen, wss, o.MaxVisits, true)
+		points = append(points, Fig13Point{
+			WSSBytes: wss,
+			IMCRatio: base.IMCReadRatio(), PMRatio: base.PMReadRatio(),
+			OptimizedPM: opt.PMReadRatio(),
+		})
+	}
+	return points
+}
+
+func fig13Run(gen Gen, wss, maxVisits int, optimized bool) trace.Counters {
+	cfg := gen.Config(1)
+	sys := machine.MustNewSystem(cfg)
+	nBlocks := wss / mem.XPLineSize
+	if nBlocks == 0 {
+		nBlocks = 1
+	}
+	base := mem.PMBase
+	rng := sim.NewRand(21)
+	dram := pmem.NewDRAMHeap(1 << 20)
+
+	visits := 3*nBlocks + 2000
+	if visits > maxVisits {
+		visits = maxVisits
+	}
+	warmup := visits / 4
+
+	sys.Go("fig13", 0, false, func(t *machine.Thread) {
+		st := xpline.NewStaging(dram)
+		run := func(n int) {
+			for i := 0; i < n; i++ {
+				block := base + mem.Addr(rng.Intn(nBlocks)*mem.XPLineSize)
+				if optimized {
+					xpline.Redirected(t, block, st)
+				} else {
+					xpline.Direct(t, block)
+				}
+			}
+		}
+		run(warmup)
+		sys.ResetCounters()
+		run(visits)
+	})
+	sys.Run()
+	return sys.PMCounters()
+}
+
+// FormatFig13 renders the panel.
+func FormatFig13(gen Gen, points []Fig13Point) string {
+	header := []string{"WSS", "iMC w/ prefetch", "PM w/ prefetch", "optimized PM"}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			HumanBytes(p.WSSBytes), F(p.IMCRatio), F(p.PMRatio), F(p.OptimizedPM),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13: reducing misprefetching via access redirection (%s)\n", gen)
+	b.WriteString(Table(header, rows))
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"optanesim/internal/machine"
+	"optanesim/internal/mem"
+)
+
+// Fig2Point is one x-position of Fig. 2: read amplification for each
+// cachelines-per-XPLine setting at one working-set size.
+type Fig2Point struct {
+	WSSBytes int
+	// RA[k] is the read amplification when reading k+1 cachelines per
+	// XPLine (the paper's "read 1..4 cachelines" curves).
+	RA [mem.LinesPerXPLine]float64
+}
+
+// Fig2Options scales the experiment.
+type Fig2Options struct {
+	Gen Gen
+	// WSS are the working-set sizes to sweep; nil uses the paper's
+	// 2-36 KB range.
+	WSS []int
+	// Passes is the number of measured full passes over the working set
+	// per CpX configuration.
+	Passes int
+}
+
+func (o *Fig2Options) defaults() {
+	if o.Gen == 0 {
+		o.Gen = G1
+	}
+	if o.WSS == nil {
+		o.WSS = LinSweep(2*KB, 36*KB, 2*KB)
+	}
+	if o.Passes <= 0 {
+		o.Passes = 8
+	}
+}
+
+// Fig2 reproduces §3.1's read-buffer experiment: strided reads aligned
+// to XPLines, reading CpX cachelines from each XPLine per round, with
+// every cacheline flushed (clflushopt) immediately after it is read so
+// all traffic reaches the DIMM. It reports read amplification as the
+// working set grows.
+func Fig2(o Fig2Options) []Fig2Point {
+	o.defaults()
+	points := make([]Fig2Point, 0, len(o.WSS))
+	for _, wss := range o.WSS {
+		var p Fig2Point
+		p.WSSBytes = wss
+		for cpx := 1; cpx <= mem.LinesPerXPLine; cpx++ {
+			p.RA[cpx-1] = fig2Run(o.Gen, wss, cpx, o.Passes)
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// fig2Run measures RA for one (wss, cpx) cell.
+func fig2Run(gen Gen, wss, cpx, passes int) float64 {
+	sys := machine.MustNewSystem(gen.Config(1))
+	nXPLines := wss / mem.XPLineSize
+	if nXPLines == 0 {
+		nXPLines = 1
+	}
+	base := mem.PMBase
+
+	onePass := func(t *machine.Thread) {
+		// One "pass" reads cacheline c of every XPLine, for c in
+		// [0, cpx), matching Fig. 1's strided pattern.
+		for c := 0; c < cpx; c++ {
+			for i := 0; i < nXPLines; i++ {
+				addr := base + mem.Addr(i*mem.XPLineSize+c*mem.CachelineSize)
+				t.Load(addr)
+				t.CLFlushOpt(addr)
+			}
+		}
+	}
+
+	sys.Go("fig2", 0, false, func(t *machine.Thread) {
+		onePass(t) // warmup pass fills the buffers
+		sys.ResetCounters()
+		for p := 0; p < passes; p++ {
+			onePass(t)
+		}
+	})
+	sys.Run()
+	return sys.PMCounters().RA()
+}
+
+// FormatFig2 renders the points as the paper's Fig. 2 table.
+func FormatFig2(points []Fig2Point) string {
+	header := []string{"WSS", "RA(CpX=1)", "RA(CpX=2)", "RA(CpX=3)", "RA(CpX=4)"}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			HumanBytes(p.WSSBytes), F(p.RA[0]), F(p.RA[1]), F(p.RA[2]), F(p.RA[3]),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 2: read amplification vs working-set size (strided reads)")
+	b.WriteString(Table(header, rows))
+	return b.String()
+}

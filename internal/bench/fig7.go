@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"optanesim/internal/machine"
+	"optanesim/internal/mem"
+	"optanesim/internal/prefetch"
+)
+
+// RAPVariant selects the persist sequence of Algorithm 1.
+type RAPVariant int
+
+// The persist variants of Fig. 7.
+const (
+	RAPClwbMFence RAPVariant = iota
+	RAPClwbSFence
+	RAPNTStoreMFence
+)
+
+func (v RAPVariant) String() string {
+	switch v {
+	case RAPClwbSFence:
+		return "clwb+sfence"
+	case RAPNTStoreMFence:
+		return "nt-store+mfence"
+	default:
+		return "clwb+mfence"
+	}
+}
+
+// Fig7Point is one x-position of one Fig. 7 panel: per-iteration latency
+// of Algorithm 1 at one read-after-persist distance.
+type Fig7Point struct {
+	Distance int // in cachelines
+	Cycles   float64
+}
+
+// Fig7Options selects one panel cell.
+type Fig7Options struct {
+	Gen     Gen
+	Variant RAPVariant
+	// PM selects persistent memory; false runs the DRAM baseline.
+	PM bool
+	// Remote places the thread on the far socket.
+	Remote bool
+	// Distances are the x positions; nil uses 0..40.
+	Distances []int
+	// Passes is the number of measured passes over the 4 KB working set.
+	Passes int
+}
+
+func (o *Fig7Options) defaults() {
+	if o.Gen == 0 {
+		o.Gen = G1
+	}
+	if o.Distances == nil {
+		o.Distances = []int{0, 1}
+		for d := 2; d <= 40; d += 2 {
+			o.Distances = append(o.Distances, d)
+		}
+	}
+	if o.Passes <= 0 {
+		o.Passes = 40
+	}
+}
+
+// Fig7 reproduces §3.5's read-after-persist experiment (Algorithm 1):
+// walk a 4 KB region one cacheline at a time, persisting each line
+// (store+clwb or nt-store, then a fence), then loading the line persisted
+// `distance` iterations earlier. It reports average cycles per iteration.
+func Fig7(o Fig7Options) []Fig7Point {
+	o.defaults()
+	points := make([]Fig7Point, 0, len(o.Distances))
+	for _, d := range o.Distances {
+		points = append(points, Fig7Point{
+			Distance: d,
+			Cycles:   fig7Run(o.Gen, o.Variant, o.PM, o.Remote, d, o.Passes),
+		})
+	}
+	return points
+}
+
+func fig7Run(gen Gen, variant RAPVariant, pm, remote bool, distance, passes int) float64 {
+	cfg := gen.Config(1)
+	// The latency probe runs with CPU prefetchers disabled: its read
+	// stream is sequential, and prefetching would hide exactly the
+	// hazard the experiment measures.
+	cfg.Prefetch = prefetch.None()
+	sys := machine.MustNewSystem(cfg)
+	const wss = 4 * KB
+	base := mem.Addr(1 << 20)
+	if pm {
+		base = mem.PMBase
+	}
+
+	iteration := func(t *machine.Thread, off int) {
+		addr := base + mem.Addr(off)
+		switch variant {
+		case RAPNTStoreMFence:
+			t.NTStore(addr)
+			t.MFence()
+		case RAPClwbSFence:
+			t.Store(addr)
+			t.CLWB(addr)
+			t.SFence()
+		default:
+			t.Store(addr)
+			t.CLWB(addr)
+			t.MFence()
+		}
+		read := base + mem.Addr((off+wss-distance*mem.CachelineSize)%wss)
+		t.Load(read)
+	}
+
+	var perIter float64
+	sys.Go("fig7", 0, remote, func(t *machine.Thread) {
+		// Warmup passes to reach steady state.
+		for p := 0; p < 3; p++ {
+			for off := 0; off < wss; off += mem.CachelineSize {
+				iteration(t, off)
+			}
+		}
+		start := t.Now()
+		iters := 0
+		for p := 0; p < passes; p++ {
+			for off := 0; off < wss; off += mem.CachelineSize {
+				iteration(t, off)
+				iters++
+			}
+		}
+		perIter = float64(t.Now()-start) / float64(iters)
+	})
+	sys.Run()
+	return perIter
+}
+
+// Fig7Variants lists the curves of one panel (DRAM panels omit
+// nt-store).
+func Fig7Variants(pm bool) []RAPVariant {
+	variants := []RAPVariant{RAPClwbMFence, RAPClwbSFence}
+	if pm {
+		variants = append(variants, RAPNTStoreMFence)
+	}
+	return variants
+}
+
+// Fig7Curves runs all of one panel's variants and returns the raw
+// series.
+func Fig7Curves(gen Gen, pm, remote bool, opts Fig7Options) map[RAPVariant][]Fig7Point {
+	opts.Gen = gen
+	opts.PM = pm
+	opts.Remote = remote
+	series := make(map[RAPVariant][]Fig7Point)
+	for _, v := range Fig7Variants(pm) {
+		opts.Variant = v
+		series[v] = Fig7(opts)
+	}
+	return series
+}
+
+// Fig7Panel runs all three variants (or the two DRAM ones) for one
+// device/socket cell and renders them side by side.
+func Fig7Panel(gen Gen, pm, remote bool, opts Fig7Options) string {
+	return FormatFig7Panel(gen, pm, remote, Fig7Curves(gen, pm, remote, opts))
+}
+
+// FormatFig7Panel renders precomputed panel curves.
+func FormatFig7Panel(gen Gen, pm, remote bool, series map[RAPVariant][]Fig7Point) string {
+	variants := Fig7Variants(pm)
+
+	devName := "DRAM"
+	if pm {
+		devName = "PM"
+	}
+	socket := "local"
+	if remote {
+		socket = "remote"
+	}
+	header := []string{"distance"}
+	for _, v := range variants {
+		header = append(header, v.String())
+	}
+	rows := make([][]string, 0, len(series[variants[0]]))
+	for i, p := range series[variants[0]] {
+		row := []string{fmt.Sprintf("%d", p.Distance)}
+		for _, v := range variants {
+			row = append(row, F1(series[v][i].Cycles))
+		}
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: RAP latency (cycles/iteration) on %s %s (%s)\n", socket, devName, gen)
+	b.WriteString(Table(header, rows))
+	return b.String()
+}

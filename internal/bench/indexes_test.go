@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// The persistent-index comparison must reflect each structure's access
+// pattern on the simulated DIMM: CCEH's two parallel random reads beat
+// the radix tree's pointer chase, which beats the B+-tree's
+// shift-and-persist insert paths; on G1 the in-place B+-tree pays the
+// RAP tax over the redo-log variant.
+func TestIndexesOrdering(t *testing.T) {
+	o := IndexesOptions{PrebuildKeys: 250_000, Ops: 2_000}
+	res := Indexes(o)
+	t.Log("\n" + FormatIndexes(o, res))
+	byName := map[string]IndexResult{}
+	for _, r := range res {
+		byName[r.Name] = r
+	}
+	cceh := byName["cceh"]
+	radixT := byName["radix (WORT)"]
+	inPlace := byName["btree (in-place)"]
+	redo := byName["btree (redo)"]
+
+	if !(cceh.Insert.Mean() < radixT.Insert.Mean() && radixT.Insert.Mean() < redo.Insert.Mean() && redo.Insert.Mean() < inPlace.Insert.Mean()) {
+		t.Errorf("insert ordering violated: cceh=%.0f radix=%.0f redo=%.0f inplace=%.0f",
+			cceh.Insert.Mean(), radixT.Insert.Mean(), redo.Insert.Mean(), inPlace.Insert.Mean())
+	}
+	if cceh.Lookup.Mean() >= radixT.Lookup.Mean() {
+		t.Errorf("cceh lookups (%.0f) should beat radix descent (%.0f)",
+			cceh.Lookup.Mean(), radixT.Lookup.Mean())
+	}
+	if inPlace.Insert.Mean() < 3*redo.Insert.Mean() {
+		t.Errorf("G1 in-place (%.0f) should pay RAP far beyond redo (%.0f)",
+			inPlace.Insert.Mean(), redo.Insert.Mean())
+	}
+	for _, r := range res {
+		if r.Insert.Count() == 0 || r.Lookup.Count() == 0 {
+			t.Errorf("%s: empty samples", r.Name)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package bench
+
+import "testing"
+
+// §3.3: separate read/write buffers and XPLine transitions.
+func TestSec33BufferSeparation(t *testing.T) {
+	r := Sec33()
+	t.Log("\n" + FormatSec33(r))
+	// Interleaving must not perturb either stream: RA stays ~1 and no
+	// media writes occur, matching the stand-alone baselines.
+	if r.InterleavedRA > 1.1 || r.BaselineRA > 1.1 {
+		t.Errorf("RA with separate buffers should stay ~1: interleaved=%.2f baseline=%.2f",
+			r.InterleavedRA, r.BaselineRA)
+	}
+	if r.InterleavedMediaWr != r.BaselineMediaWr {
+		t.Errorf("interleaving changed write traffic: %d vs %d", r.InterleavedMediaWr, r.BaselineMediaWr)
+	}
+	// Transition: media traffic far below iMC traffic on both streams.
+	if r.TransitionMediaRead*2 > r.TransitionIMCRead {
+		t.Errorf("reads should mostly hit on-DIMM buffers: media=%d iMC=%d",
+			r.TransitionMediaRead, r.TransitionIMCRead)
+	}
+	if r.TransitionMediaWrite*2 > r.TransitionIMCWrite {
+		t.Errorf("writes should merge on-DIMM: media=%d iMC=%d",
+			r.TransitionMediaWrite, r.TransitionIMCWrite)
+	}
+}
+
+// §2.2: the famous asymmetry — random reads cost several times more
+// than persists, and far more than buffer hits.
+func TestLatencyAsymmetry(t *testing.T) {
+	rows := LatencyTable(G1)
+	t.Log("\n" + FormatLatencyTable(G1, rows))
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Op] = r.Cycles
+	}
+	coldRead := byName["PM random read (cold)"]
+	persist := byName["PM persist (store+clwb+sfence)"]
+	bufHit := byName["PM read, on-DIMM buffer hit"]
+	dram := byName["DRAM random read (cold)"]
+	if coldRead < 2*persist {
+		t.Errorf("reads should dominate persists: read=%.0f persist=%.0f", coldRead, persist)
+	}
+	if coldRead < 2*bufHit {
+		t.Errorf("buffer hits should be much cheaper than media reads: %.0f vs %.0f", bufHit, coldRead)
+	}
+	if coldRead < 2*dram {
+		t.Errorf("PM reads should be much slower than DRAM: %.0f vs %.0f", coldRead, dram)
+	}
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"optanesim/internal/cceh"
+	"optanesim/internal/machine"
+	"optanesim/internal/pmem"
+	"optanesim/internal/sim"
+	"optanesim/internal/stats"
+	"optanesim/internal/workload"
+)
+
+// YCSBWorkload selects a standard read/update mix.
+type YCSBWorkload int
+
+// The classic YCSB core mixes used with key-value stores.
+const (
+	// YCSBA is 50% reads / 50% updates.
+	YCSBA YCSBWorkload = iota
+	// YCSBB is 95% reads / 5% updates.
+	YCSBB
+	// YCSBC is 100% reads.
+	YCSBC
+)
+
+func (w YCSBWorkload) String() string {
+	switch w {
+	case YCSBB:
+		return "B (95/5)"
+	case YCSBC:
+		return "C (read-only)"
+	default:
+		return "A (50/50)"
+	}
+}
+
+// readFraction returns the workload's read percentage.
+func (w YCSBWorkload) readFraction() int {
+	switch w {
+	case YCSBB:
+		return 95
+	case YCSBC:
+		return 100
+	default:
+		return 50
+	}
+}
+
+// YCSBResult summarizes one workload run on CCEH.
+type YCSBResult struct {
+	Workload YCSBWorkload
+	Mops     float64
+	// Read and Update are latency distributions in cycles.
+	Read, Update *stats.Sample
+}
+
+// YCSBOptions scales the runs. This is an extension beyond the paper's
+// insert-only load phase: Zipfian-skewed read/update mixes over the
+// prebuilt CCEH table, with full latency distributions.
+type YCSBOptions struct {
+	Gen Gen
+	// OnDRAM places the table in DRAM.
+	OnDRAM bool
+	// TableKeys sizes the prebuilt table.
+	TableKeys int
+	// Ops is the measured operation count.
+	Ops int
+	// Theta is the Zipfian exponent (YCSB default 0.99).
+	Theta float64
+}
+
+func (o *YCSBOptions) defaults() {
+	if o.Gen == 0 {
+		o.Gen = G1
+	}
+	if o.TableKeys <= 0 {
+		o.TableKeys = 1_000_000
+	}
+	if o.Ops <= 0 {
+		o.Ops = 30_000
+	}
+	if o.Theta == 0 {
+		o.Theta = 0.99
+	}
+}
+
+// YCSB runs workloads A, B and C over a prebuilt CCEH table.
+func YCSB(o YCSBOptions) []YCSBResult {
+	o.defaults()
+	out := make([]YCSBResult, 0, 3)
+	for _, w := range []YCSBWorkload{YCSBA, YCSBB, YCSBC} {
+		out = append(out, ycsbRun(o, w))
+	}
+	return out
+}
+
+func ycsbRun(o YCSBOptions, wl YCSBWorkload) YCSBResult {
+	sys := machine.MustNewSystem(o.Gen.Config(1))
+	var heap *pmem.Heap
+	if o.OnDRAM {
+		heap = pmem.NewDRAMHeap(cceh.HeapFor(o.TableKeys))
+	} else {
+		heap = pmem.NewPMHeap(cceh.HeapFor(o.TableKeys))
+	}
+	free := pmem.NewFreeSession(heap)
+	tbl := cceh.New(free, heap, 8)
+	keys := workload.SequenceKeys(1<<40, o.TableKeys)
+	tbl.InsertBatch(free, keys, nil)
+
+	res := YCSBResult{
+		Workload: wl,
+		Read:     stats.New(),
+		Update:   stats.New(),
+	}
+	var end sim.Cycles
+	sys.Go("client", 0, false, func(t *machine.Thread) {
+		s := pmem.NewSession(t, heap)
+		rng := sim.NewRand(77)
+		zipf := workload.NewZipf(rng, len(keys), o.Theta)
+		warm := o.Ops / 8
+		start := t.Now()
+		for i := 0; i < warm+o.Ops; i++ {
+			if i == warm {
+				start = t.Now()
+			}
+			k := keys[zipf.Next()]
+			t.Compute(cceh.YCSBClientCycles)
+			before := t.Now()
+			if int(rng.Uint64()%100) < wl.readFraction() {
+				if _, ok := tbl.Lookup(s, k); !ok {
+					panic("ycsb: prebuilt key missing")
+				}
+				if i >= warm {
+					res.Read.AddCycles(t.Now() - before)
+				}
+			} else {
+				if err := tbl.Insert(s, k, uint64(i)); err != nil {
+					panic(err)
+				}
+				if i >= warm {
+					res.Update.AddCycles(t.Now() - before)
+				}
+			}
+		}
+		end = t.Now() - start
+	})
+	sys.Run()
+
+	secs := sys.CyclesToSeconds(end)
+	if secs > 0 {
+		res.Mops = float64(o.Ops) / secs / 1e6
+	}
+	return res
+}
+
+// FormatYCSB renders the workload comparison with latency percentiles.
+func FormatYCSB(o YCSBOptions, results []YCSBResult) string {
+	o.defaults()
+	dev := "PM"
+	if o.OnDRAM {
+		dev = "DRAM"
+	}
+	header := []string{"workload", "Mops", "read p50", "read p99", "update p50", "update p99"}
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Workload.String(), F(r.Mops),
+			F1(r.Read.P50()), F1(r.Read.P99()),
+			F1(r.Update.P50()), F1(r.Update.P99()),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "YCSB mixes on CCEH (%s, %s, zipf %.2f) — extension beyond the paper's load phase\n",
+		dev, o.Gen, o.Theta)
+	b.WriteString(Table(header, rows))
+	return b.String()
+}

@@ -1,0 +1,563 @@
+// Package btree implements the §4.2 case study: a FAST & FAIR-style
+// persistent B+-tree whose nodes keep keys sorted in contiguous memory.
+// Two insert modes are provided:
+//
+//   - InPlace: the baseline — each key shift inside a node is followed by
+//     a persistence barrier (clwb + sfence). Shifting within a cacheline
+//     repeatedly flushes and reloads the same line, which on G1 DCPMM
+//     incurs long read-after-persist delays.
+//   - RedoLog: the paper's optimization — every shift is recorded
+//     out-of-place in a per-writer PM redo log (one entry per fresh
+//     cacheline, persisted immediately, mirrored in DRAM), committed
+//     with an 8-byte flag, and only then applied to the node, which is
+//     persisted once per touched cacheline.
+//
+// Both modes produce identical tree states; only the persist pattern
+// differs.
+package btree
+
+import (
+	"fmt"
+
+	"optanesim/internal/mem"
+	"optanesim/internal/pmem"
+)
+
+// Mode selects the leaf-update strategy.
+type Mode int
+
+// The §4.2 variants.
+const (
+	InPlace Mode = iota
+	RedoLog
+)
+
+func (m Mode) String() string {
+	if m == RedoLog {
+		return "out-of-place (redo log)"
+	}
+	return "in-place"
+}
+
+// Node geometry: 1 KB nodes — one header cacheline plus 60 sorted
+// 16-byte (key, value/child) slots across fifteen cachelines. Large
+// nodes are what makes in-place insertion shift-heavy (§4.2).
+const (
+	NodeBytes = 1024
+	// Fanout is the number of slots per node.
+	Fanout = (NodeBytes - mem.CachelineSize) / 16
+	// headerCount / headerLeaf / headerSibling are byte offsets in the
+	// header cacheline.
+	headerCount   = 0
+	headerLeaf    = 8
+	headerSibling = 16
+	slotsOffset   = mem.CachelineSize
+)
+
+// Tree is one B+-tree instance on a persistent heap.
+type Tree struct {
+	heap *pmem.Heap
+	mode Mode
+	root mem.Addr
+
+	height int
+	nodes  int
+	splits int
+}
+
+// New allocates an empty tree (a single empty leaf as root).
+func New(s *pmem.Session, h *pmem.Heap, mode Mode) *Tree {
+	t := &Tree{heap: h, mode: mode, height: 1}
+	t.root = t.newNode(s, true)
+	return t
+}
+
+// Mode returns the tree's update mode.
+func (t *Tree) Mode() Mode { return t.mode }
+
+// Height returns the current tree height.
+func (t *Tree) Height() int { return t.height }
+
+// Nodes returns the number of allocated nodes.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Splits returns the number of node splits performed.
+func (t *Tree) Splits() int { return t.splits }
+
+func (t *Tree) newNode(s *pmem.Session, leaf bool) mem.Addr {
+	n := t.heap.Alloc(NodeBytes, NodeBytes)
+	if leaf {
+		s.Poke64(n+headerLeaf, 1)
+	}
+	s.StoreLine(n)
+	s.Persist(n, mem.CachelineSize)
+	t.nodes++
+	return n
+}
+
+func slotAddr(n mem.Addr, i int) mem.Addr {
+	return n + slotsOffset + mem.Addr(16*i)
+}
+
+func (t *Tree) count(s *pmem.Session, n mem.Addr) int {
+	return int(s.Peek64(n + headerCount))
+}
+
+func (t *Tree) isLeaf(s *pmem.Session, n mem.Addr) bool {
+	return s.Peek64(n+headerLeaf) != 0
+}
+
+// search runs a binary search over the node's sorted slots, charging a
+// load for the header and for each distinct cacheline the search probes.
+// It returns the index of the first slot with key > target.
+func (t *Tree) search(s *pmem.Session, n mem.Addr, key uint64) int {
+	s.LoadLine(n) // header: count
+	cnt := t.count(s, n)
+	lo, hi := 0, cnt
+	var lastLine mem.Addr
+	for lo < hi {
+		mid := (lo + hi) / 2
+		a := slotAddr(n, mid)
+		if line := a.Line(); line != lastLine {
+			s.LoadLine(a)
+			lastLine = line
+		}
+		if s.Peek64(a) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pathEntry records one step of a root-to-leaf descent.
+type pathEntry struct {
+	node mem.Addr
+	idx  int // child slot followed (internal nodes)
+}
+
+// descend walks from the root to the leaf for key, recording the path.
+func (t *Tree) descend(s *pmem.Session, key uint64) (mem.Addr, []pathEntry) {
+	var path []pathEntry
+	n := t.root
+	for !t.isLeaf(s, n) {
+		idx := t.search(s, n, key)
+		// Internal nodes store (separator, child) with the convention
+		// that child i covers keys < separator i; slot 0's key is the
+		// smallest separator and the node's count is the slot count.
+		if idx >= t.count(s, n) {
+			idx = t.count(s, n) - 1
+		}
+		path = append(path, pathEntry{node: n, idx: idx})
+		n = mem.Addr(s.Peek64(slotAddr(n, idx) + 8))
+	}
+	return n, path
+}
+
+// Get returns the value stored for key.
+func (t *Tree) Get(s *pmem.Session, key uint64) (uint64, bool) {
+	leaf, _ := t.descend(s, key)
+	idx := t.search(s, leaf, key) - 1
+	if idx < 0 {
+		return 0, false
+	}
+	a := slotAddr(leaf, idx)
+	if s.Peek64(a) != key {
+		return 0, false
+	}
+	return s.Peek64(a + 8), true
+}
+
+// Scan returns up to max keys >= start in ascending order (leaf sibling
+// walk), for range-query tests.
+func (t *Tree) Scan(s *pmem.Session, start uint64, max int) []uint64 {
+	leaf, _ := t.descend(s, start)
+	var out []uint64
+	for leaf != 0 && len(out) < max {
+		s.LoadLine(leaf)
+		cnt := t.count(s, leaf)
+		for i := 0; i < cnt && len(out) < max; i++ {
+			a := slotAddr(leaf, i)
+			if k := s.Peek64(a); k >= start {
+				if line := a.Line(); line != leaf.Line() {
+					s.LoadLine(a)
+				}
+				out = append(out, k)
+			}
+		}
+		leaf = mem.Addr(s.Peek64(leaf + headerSibling))
+	}
+	return out
+}
+
+// Insert adds key -> val using the tree's update mode. Duplicate keys
+// overwrite in place.
+func (t *Tree) Insert(w *Writer, key, val uint64) error {
+	if key == 0 {
+		return fmt.Errorf("btree: zero key is reserved")
+	}
+	s := w.s
+	leaf, path := t.descend(s, key)
+
+	// Overwrite if present.
+	idx := t.search(s, leaf, key) - 1
+	if idx >= 0 && s.Peek64(slotAddr(leaf, idx)) == key {
+		a := slotAddr(leaf, idx)
+		s.Poke64(a+8, val)
+		s.StoreLine(a)
+		s.Persist(a.Line(), mem.CachelineSize)
+		return nil
+	}
+
+	if t.count(s, leaf) >= Fanout {
+		leaf = t.splitLeaf(w, leaf, path, key)
+		// Re-descend is unnecessary: splitLeaf returns the destination.
+	}
+	t.insertIntoLeaf(w, leaf, key, val)
+	return nil
+}
+
+// insertIntoLeaf performs the sorted in-node insertion with the mode's
+// persist pattern. The node is known to have room.
+func (t *Tree) insertIntoLeaf(w *Writer, n mem.Addr, key, val uint64) {
+	s := w.s
+	pos := t.search(s, n, key)
+	cnt := t.count(s, n)
+
+	switch t.mode {
+	case InPlace:
+		// FAST-style shift with a persistence barrier per shifted slot:
+		// the repeated load/flush of the same cacheline is the §4.2
+		// baseline's RAP bottleneck.
+		for i := cnt; i > pos; i-- {
+			src := slotAddr(n, i-1)
+			dst := slotAddr(n, i)
+			s.LoadLine(src)
+			k := s.Peek64(src)
+			v := s.Peek64(src + 8)
+			s.Poke64(dst, k)
+			s.Poke64(dst+8, v)
+			s.StoreLine(dst)
+			s.Flush(dst.Line(), mem.CachelineSize)
+			s.FenceOrdered()
+		}
+		a := slotAddr(n, pos)
+		s.Poke64(a, key)
+		s.Poke64(a+8, val)
+		s.StoreLine(a)
+		s.Flush(a.Line(), mem.CachelineSize)
+		s.FenceOrdered()
+		s.Poke64(n+headerCount, uint64(cnt+1))
+		s.StoreLine(n)
+		s.Flush(n, mem.CachelineSize)
+		s.FenceOrdered()
+
+	case RedoLog:
+		// Out-of-place: log every update, commit, then apply.
+		w.beginTxn()
+		for i := cnt; i > pos; i-- {
+			src := slotAddr(n, i-1)
+			s.LoadLine(src)
+			w.logUpdate(slotAddr(n, i), s.Peek64(src), s.Peek64(src+8))
+		}
+		w.logUpdate(slotAddr(n, pos), key, val)
+		w.logCount(n, uint64(cnt+1))
+		w.commit()
+		w.apply()
+	}
+}
+
+// splitLeaf splits a full leaf, distributing slots evenly, persists both
+// halves, threads the sibling pointer, and inserts the separator into
+// the parent. It returns the leaf that should receive key.
+func (t *Tree) splitLeaf(w *Writer, n mem.Addr, path []pathEntry, key uint64) mem.Addr {
+	s := w.s
+	right := t.newNode(s, t.isLeaf(s, n))
+	cnt := t.count(s, n)
+	half := cnt / 2
+
+	// Move the upper half to the new right node (bulk copy, one persist
+	// per node — both modes split identically).
+	for i := half; i < cnt; i++ {
+		src := slotAddr(n, i)
+		dst := slotAddr(right, i-half)
+		s.LoadLine(src)
+		s.Poke64(dst, s.Peek64(src))
+		s.Poke64(dst+8, s.Peek64(src+8))
+		s.StoreLine(dst)
+	}
+	s.Poke64(right+headerCount, uint64(cnt-half))
+	s.Poke64(right+headerSibling, s.Peek64(n+headerSibling))
+	s.StoreLine(right)
+	s.Persist(right, NodeBytes)
+
+	s.Poke64(n+headerCount, uint64(half))
+	s.Poke64(n+headerSibling, uint64(right))
+	s.StoreLine(n)
+	s.Persist(n, mem.CachelineSize)
+
+	sep := s.Peek64(slotAddr(right, 0))
+	t.insertIntoParent(w, path, n, sep, right)
+	t.splits++
+
+	if key >= sep {
+		return right
+	}
+	return n
+}
+
+// insertIntoParent threads (sep, right) into the parent of n, splitting
+// upward as needed.
+func (t *Tree) insertIntoParent(w *Writer, path []pathEntry, n mem.Addr, sep uint64, right mem.Addr) {
+	s := w.s
+	if len(path) == 0 {
+		// Split the root: the new root has two children with
+		// separators (sep, maximum sentinel).
+		newRoot := t.newNode(s, false)
+		s.Poke64(slotAddr(newRoot, 0), sep)
+		s.Poke64(slotAddr(newRoot, 0)+8, uint64(n))
+		s.Poke64(slotAddr(newRoot, 1), ^uint64(0))
+		s.Poke64(slotAddr(newRoot, 1)+8, uint64(right))
+		s.Poke64(newRoot+headerCount, 2)
+		s.StoreLine(slotAddr(newRoot, 0))
+		s.StoreLine(newRoot)
+		s.Persist(newRoot, 2*mem.CachelineSize)
+		t.root = newRoot
+		t.height++
+		return
+	}
+
+	parent := path[len(path)-1].node
+	if t.count(s, parent) >= Fanout {
+		parent = t.splitInternal(w, parent, path[:len(path)-1], sep)
+	}
+	t.insertSeparator(w, parent, sep, right, n)
+}
+
+// insertSeparator inserts (sep -> right) into internal node parent: the
+// slot currently routing to n gets key sep -> n, and a new slot after it
+// routes the upper range to right. Internal updates use bulk shifts with
+// a single persist (internal nodes tolerate reconstruction; the paper's
+// RAP pathology concerns leaf-order shifts, but we keep the same mode
+// split for symmetry).
+func (t *Tree) insertSeparator(w *Writer, parent mem.Addr, sep uint64, right, left mem.Addr) {
+	s := w.s
+	cnt := t.count(s, parent)
+	pos := t.search(s, parent, sep)
+
+	if t.mode == InPlace {
+		for i := cnt; i > pos; i-- {
+			src := slotAddr(parent, i-1)
+			dst := slotAddr(parent, i)
+			s.LoadLine(src)
+			s.Poke64(dst, s.Peek64(src))
+			s.Poke64(dst+8, s.Peek64(src+8))
+			s.StoreLine(dst)
+			s.Flush(dst.Line(), mem.CachelineSize)
+			s.FenceOrdered()
+		}
+	} else {
+		w.beginTxn()
+		for i := cnt; i > pos; i-- {
+			src := slotAddr(parent, i-1)
+			s.LoadLine(src)
+			w.logUpdate(slotAddr(parent, i), s.Peek64(src), s.Peek64(src+8))
+		}
+		w.commit()
+		w.apply()
+	}
+	// The displaced slot at pos routed some range to `left`'s old
+	// coverage; after the shift, slot pos becomes (sep -> left) and slot
+	// pos+1 keeps its key but routes to right.
+	a := slotAddr(parent, pos)
+	s.Poke64(a, sep)
+	s.Poke64(a+8, uint64(left))
+	next := slotAddr(parent, pos+1)
+	s.Poke64(next+8, uint64(right))
+	s.StoreLine(a)
+	s.StoreLine(next)
+	s.Poke64(parent+headerCount, uint64(cnt+1))
+	s.StoreLine(parent)
+	s.Persist(a.Line(), mem.CachelineSize)
+	if next.Line() != a.Line() {
+		s.Persist(next.Line(), mem.CachelineSize)
+	}
+	s.Persist(parent, mem.CachelineSize)
+}
+
+// splitInternal splits a full internal node and returns the half that
+// should receive sep.
+func (t *Tree) splitInternal(w *Writer, n mem.Addr, path []pathEntry, sep uint64) mem.Addr {
+	s := w.s
+	right := t.newNode(s, false)
+	cnt := t.count(s, n)
+	half := cnt / 2
+
+	for i := half; i < cnt; i++ {
+		src := slotAddr(n, i)
+		dst := slotAddr(right, i-half)
+		s.LoadLine(src)
+		s.Poke64(dst, s.Peek64(src))
+		s.Poke64(dst+8, s.Peek64(src+8))
+		s.StoreLine(dst)
+	}
+	s.Poke64(right+headerCount, uint64(cnt-half))
+	s.StoreLine(right)
+	s.Persist(right, NodeBytes)
+
+	s.Poke64(n+headerCount, uint64(half))
+	s.StoreLine(n)
+	s.Persist(n, mem.CachelineSize)
+
+	// The separator promoted upward is the last key of the left half.
+	promoted := s.Peek64(slotAddr(n, half-1))
+	t.insertIntoParent(w, path, n, promoted, right)
+	t.splits++
+
+	if sep >= promoted {
+		return right
+	}
+	return n
+}
+
+// Delete removes key from the tree, reporting whether it was present.
+// Like FAST & FAIR, deletion shifts the remaining slots left (leaving
+// nodes possibly underfull — no rebalancing), with the tree's persist
+// pattern: per-shift barriers in place, or a redo transaction.
+func (t *Tree) Delete(w *Writer, key uint64) bool {
+	s := w.s
+	leaf, _ := t.descend(s, key)
+	idx := t.search(s, leaf, key) - 1
+	if idx < 0 || s.Peek64(slotAddr(leaf, idx)) != key {
+		return false
+	}
+	cnt := t.count(s, leaf)
+
+	switch t.mode {
+	case InPlace:
+		for i := idx; i < cnt-1; i++ {
+			src := slotAddr(leaf, i+1)
+			dst := slotAddr(leaf, i)
+			s.LoadLine(src)
+			s.Poke64(dst, s.Peek64(src))
+			s.Poke64(dst+8, s.Peek64(src+8))
+			s.StoreLine(dst)
+			s.Flush(dst.Line(), mem.CachelineSize)
+			s.FenceOrdered()
+		}
+		last := slotAddr(leaf, cnt-1)
+		s.Poke64(last, 0)
+		s.Poke64(last+8, 0)
+		s.StoreLine(last)
+		s.Flush(last.Line(), mem.CachelineSize)
+		s.FenceOrdered()
+		s.Poke64(leaf+headerCount, uint64(cnt-1))
+		s.StoreLine(leaf)
+		s.Flush(leaf, mem.CachelineSize)
+		s.FenceOrdered()
+
+	case RedoLog:
+		w.beginTxn()
+		for i := idx; i < cnt-1; i++ {
+			src := slotAddr(leaf, i+1)
+			s.LoadLine(src)
+			w.logUpdate(slotAddr(leaf, i), s.Peek64(src), s.Peek64(src+8))
+		}
+		w.logUpdate(slotAddr(leaf, cnt-1), 0, 0)
+		w.logCount(leaf, uint64(cnt-1))
+		w.commit()
+		w.apply()
+	}
+	return true
+}
+
+// Len counts stored keys by walking the leaf chain through the data
+// plane (no simulated time).
+func (t *Tree) Len(s *pmem.Session) int {
+	n := 0
+	leaf := t.leftmostLeaf(s)
+	for leaf != 0 {
+		n += t.count(s, leaf)
+		leaf = mem.Addr(s.Peek64(leaf + headerSibling))
+	}
+	return n
+}
+
+// leftmostLeaf descends the first-child spine.
+func (t *Tree) leftmostLeaf(s *pmem.Session) mem.Addr {
+	n := t.root
+	for !t.isLeaf(s, n) {
+		n = mem.Addr(s.Peek64(slotAddr(n, 0) + 8))
+	}
+	return n
+}
+
+// Validate checks the tree's structural invariants through the data
+// plane: keys sorted within every node, counts within bounds, leaf
+// sibling chain sorted globally, and internal separators bounding their
+// subtrees. It returns the first violation.
+func (t *Tree) Validate(s *pmem.Session) error {
+	if err := t.validateNode(s, t.root, 0, ^uint64(0)); err != nil {
+		return err
+	}
+	// Leaf chain sorted globally.
+	leaf := t.leftmostLeaf(s)
+	last := uint64(0)
+	for leaf != 0 {
+		cnt := t.count(s, leaf)
+		for i := 0; i < cnt; i++ {
+			k := s.Peek64(slotAddr(leaf, i))
+			if k < last {
+				return fmt.Errorf("btree: leaf chain unsorted (%d after %d)", k, last)
+			}
+			last = k
+		}
+		leaf = mem.Addr(s.Peek64(leaf + headerSibling))
+	}
+	return nil
+}
+
+func (t *Tree) validateNode(s *pmem.Session, n mem.Addr, lo, hi uint64) error {
+	cnt := t.count(s, n)
+	if cnt < 0 || cnt > Fanout {
+		return fmt.Errorf("btree: node %v count %d out of bounds", n, cnt)
+	}
+	var prev uint64
+	for i := 0; i < cnt; i++ {
+		k := s.Peek64(slotAddr(n, i))
+		if i > 0 && k <= prev {
+			return fmt.Errorf("btree: node %v keys unsorted at %d", n, i)
+		}
+		prev = k
+	}
+	if t.isLeaf(s, n) {
+		for i := 0; i < cnt; i++ {
+			k := s.Peek64(slotAddr(n, i))
+			if k < lo || k > hi {
+				return fmt.Errorf("btree: leaf key %d outside separator range [%d,%d]", k, lo, hi)
+			}
+		}
+		return nil
+	}
+	childLo := lo
+	for i := 0; i < cnt; i++ {
+		sep := s.Peek64(slotAddr(n, i))
+		child := mem.Addr(s.Peek64(slotAddr(n, i) + 8))
+		if !t.heap.Contains(child) {
+			return fmt.Errorf("btree: node %v child %d outside the heap", n, i)
+		}
+		childHi := sep
+		if childHi > 0 {
+			childHi--
+		}
+		if childHi > hi {
+			childHi = hi
+		}
+		if err := t.validateNode(s, child, childLo, childHi); err != nil {
+			return err
+		}
+		childLo = sep
+	}
+	return nil
+}

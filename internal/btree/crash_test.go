@@ -1,0 +1,126 @@
+package btree
+
+import (
+	"testing"
+
+	"optanesim/internal/pmem"
+)
+
+// buildLeafTree builds a tree with a known two-key leaf and returns the
+// pieces needed to craft redo transactions by hand.
+func buildLeafTree(t *testing.T) (*Tree, *Writer, *pmem.Session) {
+	t.Helper()
+	h := pmem.NewPMHeap(8 << 20)
+	s := pmem.NewFreeSession(h)
+	tr := New(s, h, RedoLog)
+	w := tr.NewWriter(s, nil)
+	for _, k := range []uint64{10, 30} {
+		if err := tr.Insert(w, k, k*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr, w, s
+}
+
+// TestCrashPointEnumeration simulates a crash after every prefix of a
+// redo transaction's persisted steps and checks the recovery invariant:
+// before the commit flag lands, nothing changes; at or after it, the
+// whole transaction becomes visible.
+func TestCrashPointEnumeration(t *testing.T) {
+	// The transaction Insert(20) would log: shift 30->slot2, write 20 at
+	// slot1, count=3.
+	type entry struct {
+		slot     int
+		key, val uint64
+		count    bool
+	}
+	txn := []entry{
+		{slot: 2, key: 30, val: 300},
+		{slot: 1, key: 20, val: 200},
+		{count: true},
+	}
+
+	// crashAfter = number of log entries persisted before the crash;
+	// committed = whether the commit flag also landed.
+	for crashAfter := 0; crashAfter <= len(txn); crashAfter++ {
+		for _, committed := range []bool{false, true} {
+			if committed && crashAfter < len(txn) {
+				continue // the flag is only written after all entries
+			}
+			tr, w, s := buildLeafTree(t)
+			leaf, _ := tr.descend(s, 10)
+
+			w.beginTxn()
+			for i := 0; i < crashAfter; i++ {
+				e := txn[i]
+				if e.count {
+					w.logCount(leaf, 3)
+				} else {
+					w.logUpdate(slotAddr(leaf, e.slot), e.key, e.val)
+				}
+			}
+			if committed {
+				w.commit()
+			}
+			// CRASH: drop all volatile writer state.
+			w.pending = nil
+
+			replayed := w.Recover()
+			if committed {
+				if replayed != len(txn) {
+					t.Fatalf("committed crash: replayed %d, want %d", replayed, len(txn))
+				}
+				for _, want := range []struct{ k, v uint64 }{{10, 100}, {20, 200}, {30, 300}} {
+					if v, ok := tr.Get(s, want.k); !ok || v != want.v {
+						t.Fatalf("committed crash: get %d = (%d,%v)", want.k, v, ok)
+					}
+				}
+			} else {
+				if replayed != 0 {
+					t.Fatalf("uncommitted crash after %d entries: replayed %d", crashAfter, replayed)
+				}
+				// The pre-transaction state must be intact.
+				for _, want := range []struct{ k, v uint64 }{{10, 100}, {30, 300}} {
+					if v, ok := tr.Get(s, want.k); !ok || v != want.v {
+						t.Fatalf("uncommitted crash after %d: get %d = (%d,%v)", crashAfter, want.k, v, ok)
+					}
+				}
+				if _, ok := tr.Get(s, 20); ok {
+					t.Fatalf("uncommitted crash after %d: phantom key visible", crashAfter)
+				}
+			}
+			if err := tr.Validate(s); err != nil {
+				t.Fatalf("crashAfter=%d committed=%v: %v", crashAfter, committed, err)
+			}
+		}
+	}
+}
+
+// TestCrashDuringApplyIsIdempotent: a crash after commit but mid-apply
+// leaves the flag set; recovery replays the full log over the partially
+// applied state and must converge to the same result.
+func TestCrashDuringApplyIsIdempotent(t *testing.T) {
+	tr, w, s := buildLeafTree(t)
+	leaf, _ := tr.descend(s, 10)
+
+	w.beginTxn()
+	w.logUpdate(slotAddr(leaf, 2), 30, 300)
+	w.logUpdate(slotAddr(leaf, 1), 20, 200)
+	w.logCount(leaf, 3)
+	w.commit()
+	// Partially apply by hand (first entry only), then crash.
+	applyUpdate(s, w.pending[0])
+	w.pending = nil
+
+	if n := w.Recover(); n != 3 {
+		t.Fatalf("recover replayed %d", n)
+	}
+	for _, want := range []struct{ k, v uint64 }{{10, 100}, {20, 200}, {30, 300}} {
+		if v, ok := tr.Get(s, want.k); !ok || v != want.v {
+			t.Fatalf("get %d = (%d,%v)", want.k, v, ok)
+		}
+	}
+	if err := tr.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package cache implements the set-associative CPU cache hierarchy of
+// the simulated machine: per-core L1d and L2 plus a shared L3, with LRU
+// replacement, write-allocate stores, dirty write-back cascades, and the
+// cacheline flush semantics (clwb/clflushopt) whose generation-specific
+// behaviour drives the paper's read-after-persist findings.
+package cache
+
+import (
+	"fmt"
+
+	"optanesim/internal/mem"
+	"optanesim/internal/sim"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Name identifies the level in diagnostics ("L1d", "L2", "L3").
+	Name string
+	// Size is the capacity in bytes.
+	Size int
+	// Assoc is the set associativity.
+	Assoc int
+	// HitCycles is the load-to-use latency of a hit at this level.
+	HitCycles sim.Cycles
+}
+
+// Line is one cacheline frame. Exported fields are manipulated by the
+// machine layer (flush bookkeeping, prefetch confirmation).
+type Line struct {
+	addr  mem.Addr // line-aligned tag; meaningful only when valid
+	valid bool
+	// Dirty marks modified data that must be written back on eviction.
+	Dirty bool
+	// Prefetched marks a line installed by a prefetcher and not yet
+	// demanded; the first demand hit "confirms" it.
+	Prefetched bool
+	// ReadyAt is when the fill completes; demand hits before this stall.
+	ReadyAt sim.Cycles
+	// Flushed marks a pending G1 clwb on this line: the line remains
+	// readable by the flushing thread for a few more instructions (the
+	// pipeline depth of the invalidation, §3.5) and is then evicted.
+	Flushed bool
+	// FlushedSeq is the flushing thread's op index at clwb time and
+	// FlushedBy its thread id; together they implement the op-distance
+	// bypass window.
+	FlushedSeq uint64
+	FlushedBy  int
+	lastUse    uint64
+}
+
+// Addr returns the line's tag address.
+func (l *Line) Addr() mem.Addr { return l.addr }
+
+// Victim describes a line displaced by an insertion.
+type Victim struct {
+	Addr  mem.Addr
+	Dirty bool
+}
+
+// Cache is one set-associative cache level. It is not safe for
+// concurrent use.
+type Cache struct {
+	cfg   Config
+	nsets int
+	ways  []Line // nsets * assoc, row-major by set
+	tick  uint64
+
+	hits, misses uint64
+}
+
+// New builds a cache level. Size must be a multiple of Assoc cachelines.
+func New(cfg Config) *Cache {
+	lines := cfg.Size / mem.CachelineSize
+	if cfg.Assoc <= 0 || lines < cfg.Assoc || lines%cfg.Assoc != 0 {
+		panic(fmt.Sprintf("cache: bad geometry for %s: %d bytes, %d-way", cfg.Name, cfg.Size, cfg.Assoc))
+	}
+	return &Cache{
+		cfg:   cfg,
+		nsets: lines / cfg.Assoc,
+		ways:  make([]Line, lines),
+	}
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// HitCycles returns the level's hit latency.
+func (c *Cache) HitCycles() sim.Cycles { return c.cfg.HitCycles }
+
+func (c *Cache) set(addr mem.Addr) []Line {
+	idx := int(uint64(addr.Line()/mem.CachelineSize) % uint64(c.nsets))
+	return c.ways[idx*c.cfg.Assoc : (idx+1)*c.cfg.Assoc]
+}
+
+// Lookup finds the line containing addr, updating LRU state. It returns
+// nil on a miss.
+func (c *Cache) Lookup(addr mem.Addr) *Line {
+	la := addr.Line()
+	set := c.set(la)
+	for i := range set {
+		if set[i].valid && set[i].addr == la {
+			c.tick++
+			set[i].lastUse = c.tick
+			c.hits++
+			return &set[i]
+		}
+	}
+	c.misses++
+	return nil
+}
+
+// Peek finds the line containing addr without updating LRU or hit/miss
+// statistics.
+func (c *Cache) Peek(addr mem.Addr) *Line {
+	la := addr.Line()
+	set := c.set(la)
+	for i := range set {
+		if set[i].valid && set[i].addr == la {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Insert installs the line containing addr, evicting the LRU way if the
+// set is full. It returns the displaced victim, if any. If the line is
+// already present it is updated in place (no victim).
+func (c *Cache) Insert(addr mem.Addr, dirty, prefetched bool, readyAt sim.Cycles) (Victim, bool) {
+	la := addr.Line()
+	set := c.set(la)
+	c.tick++
+	// Update in place if present.
+	for i := range set {
+		if set[i].valid && set[i].addr == la {
+			set[i].Dirty = set[i].Dirty || dirty
+			set[i].Prefetched = set[i].Prefetched && prefetched
+			if readyAt > set[i].ReadyAt {
+				set[i].ReadyAt = readyAt
+			}
+			set[i].lastUse = c.tick
+			return Victim{}, false
+		}
+	}
+	// Prefer an invalid way.
+	slot := -1
+	for i := range set {
+		if !set[i].valid {
+			slot = i
+			break
+		}
+	}
+	var victim Victim
+	evicted := false
+	if slot < 0 {
+		slot = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[slot].lastUse {
+				slot = i
+			}
+		}
+		victim = Victim{Addr: set[slot].addr, Dirty: set[slot].Dirty}
+		evicted = true
+	}
+	set[slot] = Line{
+		addr:       la,
+		valid:      true,
+		Dirty:      dirty,
+		Prefetched: prefetched,
+		ReadyAt:    readyAt,
+		lastUse:    c.tick,
+	}
+	return victim, evicted
+}
+
+// Invalidate removes the line containing addr, reporting whether it was
+// present and dirty.
+func (c *Cache) Invalidate(addr mem.Addr) (present, dirty bool) {
+	la := addr.Line()
+	set := c.set(la)
+	for i := range set {
+		if set[i].valid && set[i].addr == la {
+			dirty = set[i].Dirty
+			set[i] = Line{}
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// Stats reports accumulated hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Reset invalidates every line and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.ways {
+		c.ways[i] = Line{}
+	}
+	c.tick, c.hits, c.misses = 0, 0, 0
+}

@@ -1,0 +1,82 @@
+package cceh
+
+import (
+	"optanesim/internal/mem"
+	"optanesim/internal/pmem"
+)
+
+// PrefetchDepth is how many keys ahead of the worker the helper thread
+// runs; the paper empirically found 8 to perform best (§4.1).
+const PrefetchDepth = 8
+
+// HelperBatch is the helper's effective memory-level parallelism across
+// keys (independent loads in flight at once).
+const HelperBatch = 4
+
+// Progress is the worker-to-helper coordination block. The simulator's
+// deterministic scheduler serializes all thread execution, so plain
+// fields suffice.
+type Progress struct {
+	// Next is the index of the next key the worker will insert.
+	Next int
+	// Done is set when the worker has finished its batch.
+	Done bool
+}
+
+// Helper runs the speculative prefetch loop on a sibling hyperthread:
+// for each upcoming key it executes only the loads of the insert path —
+// directory entry, segment metadata, and probe buckets — warming the
+// AIT, the on-DIMM read buffer, and the shared L1/L2 (§4.1). All stores,
+// persists, and synchronization of the worker are absent, so the helper
+// is faster than the worker and stays ahead of it.
+func (t *Table) Helper(s *pmem.Session, keys []uint64, prog *Progress) {
+	// The helper has no stores, fences, or data dependencies, so its
+	// loads pipeline freely across keys (memory-level parallelism); it
+	// is modeled as issuing HelperBatch keys' loads concurrently.
+	addrs := make([]mem.Addr, 0, HelperBatch*(1+ProbeBuckets))
+	for i := 0; i < len(keys); i += HelperBatch {
+		// Throttle: stay at most PrefetchDepth keys ahead.
+		for !prog.Done && i >= prog.Next+PrefetchDepth {
+			s.T.Compute(60)
+		}
+		if prog.Done {
+			return
+		}
+		addrs = addrs[:0]
+		for j := i; j < i+HelperBatch && j < len(keys); j++ {
+			h := hashKey(keys[j])
+			depth := uint(s.Peek64(t.dir))
+			dirSlot := t.dirEntry(dirIndex(h, depth))
+			addrs = append(addrs, dirSlot)
+			segAddr := mem.Addr(s.Peek64(dirSlot))
+			if !t.heap.Contains(segAddr) {
+				continue // stale directory snapshot mid-split
+			}
+			// Metadata plus the first probe bucket, like the worker's
+			// critical path.
+			b0 := bucketIndex(h)
+			addrs = append(addrs, segAddr, bucketAddr(segAddr, b0))
+		}
+		s.T.LoadParallel(addrs...)
+	}
+}
+
+// InsertBatch inserts keys[i] -> values derived from keys, updating prog
+// so a helper can pace itself. It returns the number inserted.
+func (t *Table) InsertBatch(s *pmem.Session, keys []uint64, prog *Progress) int {
+	n := 0
+	for i, k := range keys {
+		if prog != nil {
+			prog.Next = i
+		}
+		s.Tag(TagMisc)
+		s.Compute(YCSBClientCycles)
+		if err := t.Insert(s, k, k^0xABCD); err == nil {
+			n++
+		}
+	}
+	if prog != nil {
+		prog.Done = true
+	}
+	return n
+}

@@ -1,0 +1,61 @@
+package dram
+
+import (
+	"testing"
+
+	"optanesim/internal/mem"
+)
+
+func TestReadWriteCounters(t *testing.T) {
+	d := NewDIMM(DDR4G1())
+	done := d.ReadLine(100, 0x1000, true)
+	if done <= 100 {
+		t.Fatal("read completed instantly")
+	}
+	d.WriteLine(200, 0x2000)
+	c := d.Counters()
+	if c.IMCReadBytes != mem.CachelineSize || c.IMCWriteBytes != mem.CachelineSize {
+		t.Fatalf("counters wrong: %+v", c)
+	}
+	// DRAM has no separate media boundary.
+	if c.MediaReadBytes != c.IMCReadBytes || c.MediaWriteBytes != c.IMCWriteBytes {
+		t.Fatal("DRAM media counters must mirror iMC counters")
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	prof := DDR4G1()
+	d := NewDIMM(prof)
+	var last int64
+	for i := 0; i < prof.Ports; i++ {
+		last = int64(d.ReadLine(0, mem.Addr(i*64), true))
+	}
+	if last != int64(prof.ReadCycles) {
+		t.Fatalf("%d parallel reads should all finish at %d, last at %d", prof.Ports, prof.ReadCycles, last)
+	}
+	// One more must queue.
+	if got := d.ReadLine(0, 0x9000, true); got <= prof.ReadCycles {
+		t.Fatalf("read beyond port count did not queue: %d", got)
+	}
+}
+
+func TestGenerationProfiles(t *testing.T) {
+	g1, g2 := DDR4G1(), DDR4G2()
+	if g2.ReadCycles <= g1.ReadCycles {
+		t.Fatal("G2 platform DRAM reads carry extra coherence cost (§3.5)")
+	}
+	if g2.RAPWindowCycles <= g1.RAPWindowCycles {
+		t.Fatal("G2 RAP window should exceed G1's on DRAM")
+	}
+	d := NewDIMM(Profile{Name: "x", ReadCycles: 100, WriteCycles: 10})
+	if d.ports.Servers() != 8 {
+		t.Fatal("default port count not applied")
+	}
+}
+
+func TestRAPWindowExposed(t *testing.T) {
+	d := NewDIMM(DDR4G1())
+	if d.RAPWindow() != DDR4G1().RAPWindowCycles {
+		t.Fatal("RAPWindow accessor broken")
+	}
+}

@@ -1,0 +1,214 @@
+// Package imc models the integrated memory controller: the read pending
+// queue (synchronous reads), the write pending queue (the ADR domain —
+// stores complete on WPQ acceptance under the asynchronous DDR-T
+// protocol), DIMM interleaving, and the read-after-persist hazard window
+// that §3.5 measures.
+package imc
+
+import (
+	"fmt"
+
+	"optanesim/internal/mem"
+	"optanesim/internal/sim"
+	"optanesim/internal/trace"
+)
+
+// Device is a memory module behind the controller (an Optane DIMM or a
+// DRAM DIMM).
+type Device interface {
+	// ReadLine serves one cacheline read arriving at now, returning its
+	// completion time. demand marks program-demanded (vs prefetch) reads.
+	ReadLine(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles
+	// WriteLine absorbs one cacheline write arriving at now, returning
+	// the time it lands in the device's persistent domain.
+	WriteLine(now sim.Cycles, addr mem.Addr) sim.Cycles
+	// RAPWindow is the device's read-after-persist hazard window.
+	RAPWindow() sim.Cycles
+	// Counters exposes the device's traffic counters.
+	Counters() *trace.Counters
+}
+
+// Config parameterizes a controller.
+type Config struct {
+	// WPQDepth is the write pending queue capacity per device.
+	WPQDepth int
+	// WPQAcceptCycles is the CPU-visible cost of a WPQ acceptance.
+	WPQAcceptCycles sim.Cycles
+	// RPQCycles is the controller-side overhead on the read path.
+	RPQCycles sim.Cycles
+	// BusCycles is the DDR-T/DDR4 transfer time for one cacheline.
+	BusCycles sim.Cycles
+	// DrainGapCycles is the minimum spacing between consecutive WPQ
+	// drains to the same device (command bus occupancy).
+	DrainGapCycles sim.Cycles
+	// InterleaveBits selects the DIMM-interleaving granule (2^bits
+	// bytes); 12 = the platform's 4 KB interleaving.
+	InterleaveBits uint
+}
+
+// DefaultConfig returns the controller parameters used by both testbeds.
+func DefaultConfig() Config {
+	return Config{
+		WPQDepth:        64,
+		WPQAcceptCycles: 140,
+		RPQCycles:       25,
+		BusCycles:       15,
+		DrainGapCycles:  8,
+		InterleaveBits:  12,
+	}
+}
+
+// wpq tracks the occupancy of one device's write pending queue as a ring
+// of landing times.
+type wpq struct {
+	land     []sim.Cycles
+	head     int
+	count    int
+	lastLand sim.Cycles
+}
+
+func newWPQ(depth int) *wpq { return &wpq{land: make([]sim.Cycles, depth)} }
+
+// freeSlotAt returns the earliest time a slot is available for a write
+// arriving at now, popping entries that have landed by then.
+func (q *wpq) freeSlotAt(now sim.Cycles) sim.Cycles {
+	for q.count > 0 && q.land[q.head] <= now {
+		q.head = (q.head + 1) % len(q.land)
+		q.count--
+	}
+	if q.count < len(q.land) {
+		return now
+	}
+	// Full: wait for the oldest entry to land.
+	t := q.land[q.head]
+	q.head = (q.head + 1) % len(q.land)
+	q.count--
+	return t
+}
+
+func (q *wpq) push(landed sim.Cycles) {
+	tail := (q.head + q.count) % len(q.land)
+	q.land[tail] = landed
+	q.count++
+	q.lastLand = landed
+}
+
+// Controller routes reads and writes to its interleaved devices,
+// enforcing WPQ capacity, DDR-T drain ordering, and RAP hazards.
+type Controller struct {
+	cfg  Config
+	devs []Device
+	wpqs []*wpq
+
+	// hazards maps a cacheline to the time it becomes readable again
+	// after a flush/nt-store was accepted (accept + device RAP window).
+	hazards     map[mem.Addr]sim.Cycles
+	hazardPrune int
+	maxNow      sim.Cycles
+}
+
+// NewController builds a controller over one or more interleaved devices.
+func NewController(cfg Config, devs ...Device) *Controller {
+	if len(devs) == 0 {
+		panic("imc: NewController needs at least one device")
+	}
+	c := &Controller{
+		cfg:     cfg,
+		devs:    devs,
+		hazards: make(map[mem.Addr]sim.Cycles),
+	}
+	for range devs {
+		c.wpqs = append(c.wpqs, newWPQ(cfg.WPQDepth))
+	}
+	return c
+}
+
+// route picks the device serving addr under 2^InterleaveBits-byte
+// interleaving.
+func (c *Controller) route(addr mem.Addr) int {
+	if len(c.devs) == 1 {
+		return 0
+	}
+	return int((uint64(addr) >> c.cfg.InterleaveBits) % uint64(len(c.devs)))
+}
+
+// Devices returns the controller's devices (for counter aggregation).
+func (c *Controller) Devices() []Device { return c.devs }
+
+// Counters sums traffic counters across the controller's devices.
+func (c *Controller) Counters() trace.Counters {
+	var total trace.Counters
+	for _, d := range c.devs {
+		total.Add(d.Counters())
+	}
+	return total
+}
+
+// Read issues a cacheline read at time now and returns its completion
+// time. demand marks program-demanded reads. Reads are synchronous and
+// stall on an open read-after-persist hazard for the target line.
+func (c *Controller) Read(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
+	line := addr.Line()
+	if hu, ok := c.hazards[line]; ok {
+		if hu > now {
+			now = hu
+		} else {
+			delete(c.hazards, line)
+		}
+	}
+	c.observe(now)
+	dev := c.devs[c.route(addr)]
+	done := dev.ReadLine(now+c.cfg.RPQCycles, addr, demand)
+	return done + c.cfg.BusCycles
+}
+
+// Write issues a cacheline write (a cache writeback, clwb, or nt-store)
+// at time now. It returns the WPQ acceptance time — the point at which
+// the write has reached the ADR domain and the issuing flush is
+// considered complete by a fence — and the time the write lands in the
+// device's buffers. It also opens the line's RAP hazard window.
+func (c *Controller) Write(now sim.Cycles, addr mem.Addr) (accept, landed sim.Cycles) {
+	idx := c.route(addr)
+	q := c.wpqs[idx]
+	slotAt := q.freeSlotAt(now)
+	accept = sim.Max(now, slotAt) + c.cfg.WPQAcceptCycles
+	start := sim.Max(accept, q.lastLand+c.cfg.DrainGapCycles)
+	landed = c.devs[idx].WriteLine(start, addr)
+	q.push(landed)
+
+	line := addr.Line()
+	hazard := accept + c.devs[idx].RAPWindow()
+	if existing, ok := c.hazards[line]; !ok || hazard > existing {
+		c.hazards[line] = hazard
+	}
+	c.observe(accept)
+	c.maybePruneHazards()
+	return accept, landed
+}
+
+// observe tracks the high-water mark of simulated time for hazard
+// pruning.
+func (c *Controller) observe(now sim.Cycles) {
+	if now > c.maxNow {
+		c.maxNow = now
+	}
+}
+
+// maybePruneHazards bounds the hazard map by sweeping expired entries
+// periodically.
+func (c *Controller) maybePruneHazards() {
+	c.hazardPrune++
+	if c.hazardPrune < 1<<15 || len(c.hazards) < 1<<14 {
+		return
+	}
+	c.hazardPrune = 0
+	for line, hu := range c.hazards {
+		if hu <= c.maxNow {
+			delete(c.hazards, line)
+		}
+	}
+}
+
+func (c *Controller) String() string {
+	return fmt.Sprintf("imc.Controller{%d devices, wpq depth %d}", len(c.devs), c.cfg.WPQDepth)
+}

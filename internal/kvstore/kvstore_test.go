@@ -1,0 +1,225 @@
+package kvstore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"optanesim/internal/cceh"
+	"optanesim/internal/machine"
+	"optanesim/internal/mem"
+	"optanesim/internal/pmem"
+	"optanesim/internal/workload"
+)
+
+func fixture(mode AppendMode, keys int) (*Store, *pmem.Session, *pmem.Heap) {
+	logBytes := uint64(keys+256) * recordBytes
+	h := pmem.NewPMHeap(cceh.HeapFor(keys) + logBytes + (1 << 20))
+	s := pmem.NewFreeSession(h)
+	return New(s, h, mode, logBytes), s, h
+}
+
+func TestPutGetBothModes(t *testing.T) {
+	for _, mode := range []AppendMode{PerOp, Batched} {
+		st, s, _ := fixture(mode, 20000)
+		keys := workload.SequenceKeys(41, 20000)
+		for i, k := range keys {
+			if err := st.Put(s, k, uint64(i)); err != nil {
+				t.Fatalf("%v put: %v", mode, err)
+			}
+		}
+		if err := st.Sync(s); err != nil {
+			t.Fatal(err)
+		}
+		for i, k := range keys {
+			v, ok := st.Get(s, k)
+			if !ok || v != uint64(i) {
+				t.Fatalf("%v get %d: (%d,%v)", mode, k, v, ok)
+			}
+		}
+		if _, ok := st.Get(s, 0xF00D_0000_0000_0001); ok {
+			t.Fatalf("%v: absent key found", mode)
+		}
+	}
+}
+
+func TestBatchedReadsPendingRecords(t *testing.T) {
+	st, s, _ := fixture(Batched, 100)
+	if err := st.Put(s, 5, 55); err != nil { // stays volatile (batch of 4)
+		t.Fatal(err)
+	}
+	if v, ok := st.Get(s, 5); !ok || v != 55 {
+		t.Fatalf("pending record invisible: (%d,%v)", v, ok)
+	}
+}
+
+func TestOverwriteTakesLatest(t *testing.T) {
+	for _, mode := range []AppendMode{PerOp, Batched} {
+		st, s, _ := fixture(mode, 100)
+		for v := uint64(1); v <= 9; v++ {
+			if err := st.Put(s, 77, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Sync(s); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := st.Get(s, 77); !ok || v != 9 {
+			t.Fatalf("%v overwrite: (%d,%v)", mode, v, ok)
+		}
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	h := pmem.NewPMHeap(cceh.HeapFor(100) + 4*recordBytes + (1 << 20))
+	s := pmem.NewFreeSession(h)
+	st := New(s, h, PerOp, 2*recordBytes)
+	if err := st.Put(s, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(s, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(s, 3, 3); err == nil {
+		t.Fatal("full log accepted a put")
+	}
+}
+
+func TestRecoverIndexFromLog(t *testing.T) {
+	st, s, h := fixture(PerOp, 5000)
+	keys := workload.SequenceKeys(43, 5000)
+	for i, k := range keys {
+		if err := st.Put(s, k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite a subset so recovery must honor later records.
+	for i := 0; i < 100; i++ {
+		if err := st.Put(s, keys[i], 999999+uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: the index is lost; rebuild from the log.
+	recovered, err := RecoverIndex(s, h, PerOp, st.logBase, st.logCap, st.logOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		want := uint64(i)
+		if i < 100 {
+			want = 999999 + uint64(i)
+		}
+		if v, ok := recovered.Get(s, k); !ok || v != want {
+			t.Fatalf("recovered get %d: (%d,%v), want %d", k, v, ok, want)
+		}
+	}
+}
+
+// TestQuickMapEquivalence property-checks the store against a map.
+func TestQuickMapEquivalence(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, batched bool) bool {
+		n := int(nRaw)%1500 + 1
+		mode := PerOp
+		if batched {
+			mode = Batched
+		}
+		st, s, _ := fixture(mode, n+16)
+		ref := make(map[uint64]uint64, n)
+		for i, k := range workload.SequenceKeys(seed, n) {
+			if st.Put(s, k, uint64(i)) != nil {
+				return false
+			}
+			ref[k] = uint64(i)
+		}
+		if st.Sync(s) != nil {
+			return false
+		}
+		for k, v := range ref {
+			if got, ok := st.Get(s, k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchingReducesWriteAmplification is the §3.2 story end-to-end:
+// coalesced full-XPLine appends produce far less media write traffic
+// per record than per-op persists.
+func TestBatchingReducesWriteAmplification(t *testing.T) {
+	wa := func(mode AppendMode) float64 {
+		sys := machine.MustNewSystem(machine.G1Config(1))
+		logBytes := uint64(40000) * recordBytes
+		h := pmem.NewPMHeap(cceh.HeapFor(30000) + logBytes + (1 << 20))
+		free := pmem.NewFreeSession(h)
+		st := New(free, h, mode, logBytes)
+		keys := workload.SequenceKeys(45, 20000)
+		var media float64
+		sys.Go("w", 0, false, func(th *machine.Thread) {
+			s := pmem.NewSession(th, h)
+			for i, k := range keys {
+				if err := st.Put(s, k, uint64(i)); err != nil {
+					panic(err)
+				}
+			}
+			if err := st.Sync(s); err != nil {
+				panic(err)
+			}
+			th.Compute(30000) // let periodic write-back settle
+			th.SFence()
+			media = float64(sys.PMCounters().MediaWriteBytes) / float64(len(keys))
+		})
+		sys.Run()
+		return media
+	}
+	perOp := wa(PerOp)
+	batched := wa(Batched)
+	if batched >= perOp {
+		t.Fatalf("batched media writes/record (%.0f B) should undercut per-op (%.0f B)", batched, perOp)
+	}
+	t.Logf("media write bytes per record: per-op %.0f, batched %.0f", perOp, batched)
+}
+
+// TestTimedThroughputOrdering: batched appends are also faster.
+func TestTimedThroughputOrdering(t *testing.T) {
+	run := func(mode AppendMode) float64 {
+		sys := machine.MustNewSystem(machine.G1Config(1))
+		logBytes := uint64(20000) * recordBytes
+		h := pmem.NewPMHeap(cceh.HeapFor(15000) + logBytes + (1 << 20))
+		free := pmem.NewFreeSession(h)
+		st := New(free, h, mode, logBytes)
+		keys := workload.SequenceKeys(47, 10000)
+		var cycles float64
+		sys.Go("w", 0, false, func(th *machine.Thread) {
+			s := pmem.NewSession(th, h)
+			start := th.Now()
+			for i, k := range keys {
+				if err := st.Put(s, k, uint64(i)); err != nil {
+					panic(err)
+				}
+			}
+			if err := st.Sync(s); err != nil {
+				panic(err)
+			}
+			cycles = float64(th.Now()-start) / float64(len(keys))
+		})
+		sys.Run()
+		return cycles
+	}
+	perOp := run(PerOp)
+	batched := run(Batched)
+	if batched >= perOp {
+		t.Fatalf("batched puts (%.0f cyc) should beat per-op (%.0f cyc)", batched, perOp)
+	}
+	t.Logf("cycles per put: per-op %.0f, batched %.0f", perOp, batched)
+}
+
+func TestZeroKeyRejected(t *testing.T) {
+	st, s, _ := fixture(PerOp, 10)
+	if err := st.Put(s, 0, 1); err == nil {
+		t.Fatal("zero key accepted")
+	}
+	_ = mem.CachelineSize
+}

@@ -1,0 +1,79 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"optanesim/internal/trace"
+)
+
+// Report summarizes the microarchitectural activity of a system after a
+// run: cache hit rates per level, PM and DRAM traffic, on-DIMM buffer
+// occupancies, and the AIT hit ratio. It is a diagnostic aid for
+// workload authors ("where did my cycles go?").
+type Report struct {
+	// L1, L2, L3 hit/miss totals (L1/L2 summed over cores).
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+	L3Hits, L3Misses uint64
+
+	// PM and DRAM are the aggregated traffic counters.
+	PM, DRAM trace.Counters
+
+	// ReadBufferLen / WriteBufferLen are current per-DIMM occupancies
+	// (in XPLines).
+	ReadBufferLen, WriteBufferLen []int
+	// AITHitRatio is the per-DIMM AIT cache hit ratio.
+	AITHitRatio []float64
+
+	// PrefetchesProposed sums prefetcher proposals over cores.
+	PrefetchesProposed uint64
+}
+
+// Report collects the current statistics.
+func (s *System) Report() Report {
+	var r Report
+	for _, c := range s.cores {
+		h, m := c.L1.Stats()
+		r.L1Hits += h
+		r.L1Misses += m
+		h, m = c.L2.Stats()
+		r.L2Hits += h
+		r.L2Misses += m
+		r.PrefetchesProposed += c.PF.Issued()
+	}
+	r.L3Hits, r.L3Misses = s.l3.Stats()
+	r.PM = s.PMCounters()
+	r.DRAM = s.DRAMCounters()
+	for _, d := range s.pmDIMMs {
+		r.ReadBufferLen = append(r.ReadBufferLen, d.ReadBufferLen())
+		r.WriteBufferLen = append(r.WriteBufferLen, d.WriteBufferLen())
+		r.AITHitRatio = append(r.AITHitRatio, d.AITHitRatio())
+	}
+	return r
+}
+
+// hitRate renders hits/(hits+misses).
+func hitRate(h, m uint64) string {
+	if h+m == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(h)/float64(h+m))
+}
+
+// String renders a multi-line summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "caches: L1 %s (%d/%d)  L2 %s (%d/%d)  L3 %s (%d/%d)\n",
+		hitRate(r.L1Hits, r.L1Misses), r.L1Hits, r.L1Misses,
+		hitRate(r.L2Hits, r.L2Misses), r.L2Hits, r.L2Misses,
+		hitRate(r.L3Hits, r.L3Misses), r.L3Hits, r.L3Misses)
+	fmt.Fprintf(&b, "PM:    %v\n", r.PM)
+	fmt.Fprintf(&b, "DRAM:  %v\n", r.DRAM)
+	for i := range r.ReadBufferLen {
+		fmt.Fprintf(&b, "DIMM %d: read buffer %d XPLines, write buffer %d XPLines, AIT hit %.1f%%\n",
+			i, r.ReadBufferLen[i], r.WriteBufferLen[i], 100*r.AITHitRatio[i])
+	}
+	fmt.Fprintf(&b, "prefetch proposals: %d\n", r.PrefetchesProposed)
+	return b.String()
+}

@@ -1,0 +1,281 @@
+// Package machine simulates the CPU side of the testbed: cores with
+// private L1/L2 caches and prefetchers, a shared L3, simulated threads
+// that execute memory-operation streams (loads, stores, non-temporal
+// stores, cacheline flushes, fences, and streaming SIMD copies), and a
+// deterministic min-time scheduler that makes multi-thread contention
+// exact and reproducible.
+package machine
+
+import (
+	"fmt"
+
+	"optanesim/internal/cache"
+	"optanesim/internal/dram"
+	"optanesim/internal/imc"
+	"optanesim/internal/mem"
+	"optanesim/internal/optane"
+	"optanesim/internal/prefetch"
+	"optanesim/internal/sim"
+	"optanesim/internal/trace"
+)
+
+// Config assembles one simulated testbed.
+type Config struct {
+	// CPU selects the processor profile (G1CPU or G2CPU).
+	CPU CPUProfile
+	// PM selects the Optane DIMM profile (optane.G1 or optane.G2).
+	PM optane.Profile
+	// PMDIMMs is the number of interleaved Optane DIMMs (1 or 6 in the
+	// paper's experiments).
+	PMDIMMs int
+	// DRAM selects the DRAM profile; zero value picks the generation's
+	// default.
+	DRAM dram.Profile
+	// IMC configures the memory controllers; zero value uses defaults.
+	IMC imc.Config
+	// Cores is the number of cores to build (each with private L1/L2).
+	Cores int
+	// Prefetch selects the CPU prefetcher configuration for all cores.
+	Prefetch prefetch.Config
+	// Seed drives every stochastic policy in the system.
+	Seed uint64
+}
+
+// G1Config returns a ready-to-run G1 testbed configuration with n cores
+// and one Optane DIMM, all prefetchers on.
+func G1Config(cores int) Config {
+	return Config{
+		CPU: G1CPU(), PM: optane.G1(), PMDIMMs: 1, DRAM: dram.DDR4G1(),
+		IMC: imc.DefaultConfig(), Cores: cores, Prefetch: prefetch.All(), Seed: 1,
+	}
+}
+
+// G2Config returns a ready-to-run G2 testbed configuration.
+func G2Config(cores int) Config {
+	return Config{
+		CPU: G2CPU(), PM: optane.G2(), PMDIMMs: 1, DRAM: dram.DDR4G2(),
+		IMC: imc.DefaultConfig(), Cores: cores, Prefetch: prefetch.All(), Seed: 1,
+	}
+}
+
+// Core is one physical core: private L1d and L2 plus a prefetch engine.
+// Two hyperthreads bound to the same core share all three.
+type Core struct {
+	ID int
+	L1 *cache.Cache
+	L2 *cache.Cache
+	PF *prefetch.Unit
+	// live is the number of threads currently bound to this core; when
+	// above 1, hyperthread sharing inflates front-end costs.
+	live int
+}
+
+// System is one simulated testbed instance. It is not safe for
+// concurrent use from outside; simulated threads are multiplexed
+// internally by the deterministic scheduler.
+type System struct {
+	cfg   Config
+	cores []*Core
+	l3    *cache.Cache
+
+	pmDIMMs []*optane.DIMM
+	dramDev *dram.DIMM
+	pmc     *imc.Controller
+	dramc   *imc.Controller
+
+	pmDemand   trace.Counters
+	dramDemand trace.Counters
+
+	threads []*Thread
+	nextTID int
+	running bool
+	done    chan struct{}
+}
+
+// NewSystem builds a testbed from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.PMDIMMs <= 0 {
+		cfg.PMDIMMs = 1
+	}
+	if cfg.DRAM.ReadCycles == 0 {
+		if cfg.CPU.Generation == 2 {
+			cfg.DRAM = dram.DDR4G2()
+		} else {
+			cfg.DRAM = dram.DDR4G1()
+		}
+	}
+	if cfg.IMC.WPQDepth == 0 {
+		cfg.IMC = imc.DefaultConfig()
+	}
+	s := &System{cfg: cfg}
+	s.l3 = cache.New(cfg.CPU.L3)
+	for i := 0; i < cfg.Cores; i++ {
+		s.cores = append(s.cores, &Core{
+			ID: i,
+			L1: cache.New(cfg.CPU.L1),
+			L2: cache.New(cfg.CPU.L2),
+			PF: prefetch.NewUnit(cfg.Prefetch),
+		})
+	}
+	var pmDevs []imc.Device
+	for i := 0; i < cfg.PMDIMMs; i++ {
+		d, err := optane.NewDIMM(cfg.PM, cfg.Seed+uint64(i)*7919)
+		if err != nil {
+			return nil, err
+		}
+		s.pmDIMMs = append(s.pmDIMMs, d)
+		pmDevs = append(pmDevs, d)
+	}
+	s.pmc = imc.NewController(cfg.IMC, pmDevs...)
+	s.dramDev = dram.NewDIMM(cfg.DRAM)
+	s.dramc = imc.NewController(cfg.IMC, s.dramDev)
+	return s, nil
+}
+
+// MustNewSystem is NewSystem for known-good configurations.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Core returns core i.
+func (s *System) Core(i int) *Core { return s.cores[i] }
+
+// Cores returns the number of cores.
+func (s *System) Cores() int { return len(s.cores) }
+
+// PMDIMM returns Optane DIMM i (for introspection in tests).
+func (s *System) PMDIMM(i int) *optane.DIMM { return s.pmDIMMs[i] }
+
+// controller routes an address to its memory controller.
+func (s *System) controller(addr mem.Addr) *imc.Controller {
+	if addr.IsPM() {
+		return s.pmc
+	}
+	return s.dramc
+}
+
+// demand returns the demand-traffic counter set for addr's region.
+func (s *System) demand(addr mem.Addr) *trace.Counters {
+	if addr.IsPM() {
+		return &s.pmDemand
+	}
+	return &s.dramDemand
+}
+
+// PMCounters returns aggregated PM traffic: the demand bytes observed at
+// the CPU plus the iMC/media bytes summed over the Optane DIMMs.
+func (s *System) PMCounters() trace.Counters {
+	total := s.pmc.Counters()
+	total.DemandReadBytes = s.pmDemand.DemandReadBytes
+	total.DemandWriteBytes = s.pmDemand.DemandWriteBytes
+	return total
+}
+
+// DRAMCounters returns aggregated DRAM traffic.
+func (s *System) DRAMCounters() trace.Counters {
+	total := s.dramc.Counters()
+	total.DemandReadBytes = s.dramDemand.DemandReadBytes
+	total.DemandWriteBytes = s.dramDemand.DemandWriteBytes
+	return total
+}
+
+// ResetCounters zeroes all traffic counters (e.g. after a warmup phase)
+// without disturbing cache or buffer state.
+func (s *System) ResetCounters() {
+	s.pmDemand.Reset()
+	s.dramDemand.Reset()
+	for _, d := range s.pmDIMMs {
+		d.Counters().Reset()
+	}
+	s.dramDev.Counters().Reset()
+}
+
+// Go registers a simulated thread bound to core coreID. remote marks the
+// thread as running on the other socket from the memory (NUMA). The
+// function body runs when Run is called. It returns the thread for
+// post-run inspection.
+func (s *System) Go(name string, coreID int, remote bool, fn func(*Thread)) *Thread {
+	if s.running {
+		panic("machine: Go called while Run in progress")
+	}
+	if coreID < 0 || coreID >= len(s.cores) {
+		panic(fmt.Sprintf("machine: core %d out of range", coreID))
+	}
+	t := &Thread{
+		sys:    s,
+		id:     s.nextTID,
+		name:   name,
+		core:   s.cores[coreID],
+		remote: remote,
+		resume: make(chan struct{}),
+		fn:     fn,
+		tags:   make(map[string]sim.Cycles),
+	}
+	s.nextTID++
+	s.threads = append(s.threads, t)
+	return t
+}
+
+// Run executes all registered threads to completion under the
+// deterministic min-time scheduler, then clears the thread list. It
+// returns the final simulated time (the max over thread finish times).
+func (s *System) Run() sim.Cycles {
+	if len(s.threads) == 0 {
+		return 0
+	}
+	s.running = true
+	s.done = make(chan struct{})
+	for _, c := range s.cores {
+		c.live = 0
+	}
+	for _, t := range s.threads {
+		t.core.live++
+	}
+	for _, t := range s.threads {
+		go t.main()
+	}
+	first := s.pickNext()
+	first.resume <- struct{}{}
+	<-s.done
+
+	var end sim.Cycles
+	for _, t := range s.threads {
+		if t.now > end {
+			end = t.now
+		}
+	}
+	s.threads = s.threads[:0]
+	s.running = false
+	return end
+}
+
+// pickNext returns the unfinished thread with the smallest current time,
+// breaking ties by registration order. nil when all have finished.
+func (s *System) pickNext() *Thread {
+	var best *Thread
+	for _, t := range s.threads {
+		if t.finished {
+			continue
+		}
+		if best == nil || t.now < best.now {
+			best = t
+		}
+	}
+	return best
+}
+
+// CyclesToSeconds converts a simulated cycle count to seconds using the
+// CPU profile's frequency.
+func (s *System) CyclesToSeconds(c sim.Cycles) float64 {
+	return float64(c) / (s.cfg.CPU.FrequencyGHz * 1e9)
+}

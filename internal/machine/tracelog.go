@@ -1,0 +1,87 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"optanesim/internal/mem"
+	"optanesim/internal/sim"
+)
+
+// TraceEvent is one executed memory operation, as recorded by a thread's
+// trace ring.
+type TraceEvent struct {
+	Seq   uint64
+	Kind  mem.OpKind
+	Addr  mem.Addr
+	Start sim.Cycles
+	End   sim.Cycles
+}
+
+// Cost returns the cycles the operation added to the thread.
+func (e TraceEvent) Cost() sim.Cycles { return e.End - e.Start }
+
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case mem.OpSFence, mem.OpMFence:
+		return fmt.Sprintf("#%d %8d..%-8d %s (%d cyc)", e.Seq, e.Start, e.End, e.Kind, e.Cost())
+	default:
+		return fmt.Sprintf("#%d %8d..%-8d %s %v (%d cyc)", e.Seq, e.Start, e.End, e.Kind, e.Addr, e.Cost())
+	}
+}
+
+// traceRing is a fixed-capacity ring of the most recent events.
+type traceRing struct {
+	buf  []TraceEvent
+	next int
+	full bool
+}
+
+// EnableTrace starts recording this thread's last `depth` operations.
+// Call before System.Run. Tracing costs a little host time but no
+// simulated cycles.
+func (t *Thread) EnableTrace(depth int) {
+	if depth <= 0 {
+		depth = 256
+	}
+	t.traces = &traceRing{buf: make([]TraceEvent, depth)}
+}
+
+// Trace returns the recorded events, oldest first.
+func (t *Thread) Trace() []TraceEvent {
+	if t.traces == nil {
+		return nil
+	}
+	r := t.traces
+	var out []TraceEvent
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// TraceString renders the recorded events one per line.
+func (t *Thread) TraceString() string {
+	var b strings.Builder
+	for _, e := range t.Trace() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// record appends an event if tracing is enabled. start is the thread's
+// clock before the op executed.
+func (t *Thread) record(kind mem.OpKind, addr mem.Addr, start sim.Cycles) {
+	if t.traces == nil {
+		return
+	}
+	r := t.traces
+	r.buf[r.next] = TraceEvent{Seq: t.ops, Kind: kind, Addr: addr, Start: start, End: t.now}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}

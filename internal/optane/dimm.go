@@ -1,0 +1,185 @@
+package optane
+
+import (
+	"optanesim/internal/mem"
+	"optanesim/internal/sim"
+	"optanesim/internal/trace"
+)
+
+// DIMM is one simulated Optane persistent-memory module: the AIT cache,
+// the read buffer, the write-combining buffer, and the 3D-XPoint media
+// ports, with traffic counters at the iMC and media boundaries.
+//
+// The DIMM is not safe for concurrent use; the machine scheduler
+// guarantees single-threaded access.
+type DIMM struct {
+	prof Profile
+	ait  *aitCache
+	rb   *readBuffer
+	wb   *writeBuffer
+
+	readPorts  *sim.Ports
+	writePorts *sim.Ports
+
+	c trace.Counters
+}
+
+// NewDIMM constructs a DIMM with the given profile. The seed drives the
+// write buffer's random eviction policy.
+func NewDIMM(prof Profile, seed uint64) (*DIMM, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	d := &DIMM{
+		prof:       prof,
+		ait:        newAITCache(prof.AITEntries, prof.AITGranuleBits),
+		readPorts:  sim.NewPorts(prof.ReadPorts),
+		writePorts: sim.NewPorts(prof.WritePorts),
+	}
+	d.wb = newWriteBuffer(&d.prof, sim.NewRand(seed))
+	d.rb = newReadBuffer(prof.ReadBufLines, prof.ReadBufRetainsServedLines)
+	return d, nil
+}
+
+// MustNewDIMM is NewDIMM for known-good profiles.
+func MustNewDIMM(prof Profile, seed uint64) *DIMM {
+	d, err := NewDIMM(prof, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Profile returns the DIMM's configuration.
+func (d *DIMM) Profile() Profile { return d.prof }
+
+// Counters exposes the DIMM's traffic counters.
+func (d *DIMM) Counters() *trace.Counters { return &d.c }
+
+// RAPWindow reports the read-after-persist hazard window of this device.
+func (d *DIMM) RAPWindow() sim.Cycles { return d.prof.RAPWindowCycles }
+
+// ReadBufferLen reports the current read-buffer occupancy in XPLines.
+func (d *DIMM) ReadBufferLen() int { return d.rb.Len() }
+
+// WriteBufferLen reports the current write-buffer occupancy in XPLines.
+func (d *DIMM) WriteBufferLen() int { return d.wb.Len() }
+
+// AITHitRatio reports the AIT cache hit ratio so far.
+func (d *DIMM) AITHitRatio() float64 { return d.ait.HitRatio() }
+
+// ReadLine serves a 64 B read request arriving from the iMC at time now
+// and returns the completion time at the DIMM pins. demand distinguishes
+// program-demanded reads from CPU prefetches for accounting only — the
+// DIMM treats both identically (§3.4: the DIMM itself does not prefetch,
+// but must read whole XPLines on behalf of cacheline prefetches).
+func (d *DIMM) ReadLine(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
+	d.drainPeriodic(now)
+	d.c.IMCReadBytes += mem.CachelineSize
+
+	// The write-combining buffer is probed first: a read of freshly
+	// written data is served on-DIMM (§3.3).
+	if d.wb.Contains(addr) {
+		d.c.BufferReadHits++
+		return now + d.prof.BufReadHitCycles
+	}
+	// Read-buffer hit: serve and consume the cacheline (cache-exclusive).
+	if readyAt, ok := d.rb.Probe(addr); ok {
+		d.c.BufferReadHits++
+		return sim.Max(now, readyAt) + d.prof.BufReadHitCycles
+	}
+	// Media read of the whole XPLine, via the AIT.
+	t := now
+	if !d.ait.Lookup(addr) {
+		t += d.prof.AITMissCycles
+	}
+	_, done := d.readPorts.Acquire(t, d.prof.MediaReadCycles)
+	d.c.MediaReads++
+	d.c.MediaReadBytes += mem.XPLineSize
+	d.rb.Install(addr, addr.LineInXPLine(), done)
+	return done + d.prof.BufReadHitCycles/4
+}
+
+// WriteLine absorbs one 64 B write draining from the WPQ at time now and
+// returns the time the write has landed in the on-DIMM buffers (the ADR
+// domain on the DIMM side). Backpressure from evictions propagates
+// through the returned time.
+func (d *DIMM) WriteLine(now sim.Cycles, addr mem.Addr) sim.Cycles {
+	d.drainPeriodic(now)
+	d.c.IMCWriteBytes += mem.CachelineSize
+
+	// Merge into a resident write-buffer entry.
+	if d.wb.Merge(addr, now) {
+		d.c.BufferWriteHits++
+		return now + d.prof.WriteAcceptCycles
+	}
+	// Transition from the read buffer: the full XPLine data is already
+	// on-DIMM, so the write avoids the RMW media read (§3.3).
+	if d.rb.Take(addr) {
+		accept := d.ensureSpace(now)
+		d.wb.Allocate(addr, true, now)
+		d.c.BufferWriteHits++
+		return sim.Max(accept, now) + d.prof.WriteAcceptCycles
+	}
+	accept := d.ensureSpace(now)
+	d.wb.Allocate(addr, false, now)
+	return sim.Max(accept, now) + d.prof.WriteAcceptCycles
+}
+
+// ensureSpace evicts write-buffer entries if occupancy has reached the
+// generation's high watermark, returning the time a slot is free.
+func (d *DIMM) ensureSpace(now sim.Cycles) sim.Cycles {
+	if !d.wb.NeedsEviction() {
+		return now
+	}
+	victims := d.wb.PickVictims(d.prof.WriteBufBatchEvict)
+	slotFree := sim.Cycles(-1)
+	for _, v := range victims {
+		free := d.evict(v, now)
+		if slotFree < 0 || free < slotFree {
+			slotFree = free
+		}
+	}
+	if slotFree < 0 {
+		return now
+	}
+	return slotFree
+}
+
+// evict writes one victim XPLine back to the media, performing the RMW
+// read first when the entry lacks full base data. It returns the time
+// the buffer slot becomes reusable (the media write's issue time — the
+// write itself completes asynchronously).
+func (d *DIMM) evict(v *wbEntry, now sim.Cycles) sim.Cycles {
+	t := now
+	if !v.hasBase {
+		// Read-modify-write: fetch the unwritten remainder. The read
+		// buffer can supply it for free if the XPLine is resident.
+		if d.rb.Take(v.xpl) {
+			// Base data supplied by the read buffer; no media read.
+		} else {
+			if !d.ait.Lookup(v.xpl) {
+				t += d.prof.AITMissCycles
+			}
+			_, done := d.readPorts.Acquire(t, d.prof.MediaReadCycles)
+			d.c.MediaReads++
+			d.c.MediaReadBytes += mem.XPLineSize
+			t = done
+		}
+	}
+	start, _ := d.writePorts.Acquire(t, d.prof.MediaWriteCycles)
+	d.c.MediaWrites++
+	d.c.MediaWriteBytes += mem.XPLineSize
+	return start
+}
+
+// drainPeriodic performs G1's periodic write-back of fully modified
+// XPLines whose deadline has passed.
+func (d *DIMM) drainPeriodic(now sim.Cycles) {
+	for _, e := range d.wb.DuePeriodic(now) {
+		deadline := e.fullAt + d.prof.PeriodicWritebackCycles
+		d.writePorts.Acquire(sim.Max(deadline, 0), d.prof.MediaWriteCycles)
+		d.c.MediaWrites++
+		d.c.MediaWriteBytes += mem.XPLineSize
+	}
+}

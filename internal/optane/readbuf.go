@@ -1,0 +1,124 @@
+package optane
+
+import (
+	"optanesim/internal/mem"
+	"optanesim/internal/sim"
+)
+
+// readBuffer models the on-DIMM read buffer (§3.1): a small FIFO of
+// XPLines that is *exclusive* with respect to the CPU caches. Serving a
+// cacheline to the iMC clears that cacheline's valid bit — the data has
+// moved up into the cache hierarchy and will not be served again — which
+// is exactly the behaviour that pins Fig. 2's read-amplification floor
+// at 1.
+type readBuffer struct {
+	capacity int
+	// retainServed disables the cache-exclusive consumption (ablation).
+	retainServed bool
+	entries      map[mem.Addr]*rbEntry // keyed by XPLine address
+	fifo         []mem.Addr            // insertion order, oldest first
+
+	insertions uint64
+	evictions  uint64
+}
+
+type rbEntry struct {
+	xpl     mem.Addr
+	valid   [mem.LinesPerXPLine]bool
+	readyAt sim.Cycles // when the media fill completes
+}
+
+func newReadBuffer(capacity int, retainServed bool) *readBuffer {
+	return &readBuffer{
+		capacity:     capacity,
+		retainServed: retainServed,
+		entries:      make(map[mem.Addr]*rbEntry, capacity),
+	}
+}
+
+// Probe looks up the cacheline at addr. If present with its valid bit
+// set, it returns the entry's readyAt time and consumes the line
+// (clearing the valid bit, per the buffer's cache-exclusive behaviour).
+func (rb *readBuffer) Probe(addr mem.Addr) (readyAt sim.Cycles, ok bool) {
+	e, present := rb.entries[addr.XPLine()]
+	if !present {
+		return 0, false
+	}
+	idx := addr.LineInXPLine()
+	if !e.valid[idx] {
+		return 0, false
+	}
+	if !rb.retainServed {
+		e.valid[idx] = false
+	}
+	return e.readyAt, true
+}
+
+// Install records a media fill of the XPLine containing addr, completing
+// at readyAt. The cacheline being served (servedIdx >= 0) is installed
+// already-consumed. If the XPLine is already buffered its valid bits are
+// refreshed in place; otherwise the oldest entry is evicted on overflow
+// (read buffer entries are clean, so eviction is free).
+func (rb *readBuffer) Install(addr mem.Addr, servedIdx int, readyAt sim.Cycles) {
+	xpl := addr.XPLine()
+	if e, present := rb.entries[xpl]; present {
+		for i := range e.valid {
+			e.valid[i] = true
+		}
+		if servedIdx >= 0 && !rb.retainServed {
+			e.valid[servedIdx] = false
+		}
+		e.readyAt = readyAt
+		return
+	}
+	e := &rbEntry{xpl: xpl, readyAt: readyAt}
+	for i := range e.valid {
+		e.valid[i] = true
+	}
+	if servedIdx >= 0 && !rb.retainServed {
+		e.valid[servedIdx] = false
+	}
+	rb.entries[xpl] = e
+	rb.fifo = append(rb.fifo, xpl)
+	rb.insertions++
+	for len(rb.entries) > rb.capacity {
+		rb.evictOldest()
+	}
+}
+
+// Contains reports whether the XPLine containing addr is buffered
+// (regardless of per-line valid bits): the full line data is on the DIMM
+// and can seed a write-buffer transition or satisfy an eviction RMW.
+func (rb *readBuffer) Contains(addr mem.Addr) bool {
+	_, present := rb.entries[addr.XPLine()]
+	return present
+}
+
+// Take removes the XPLine containing addr from the read buffer,
+// reporting whether it was present. Used when a write transitions the
+// line into the write-combining buffer (§3.3).
+func (rb *readBuffer) Take(addr mem.Addr) bool {
+	xpl := addr.XPLine()
+	if _, present := rb.entries[xpl]; !present {
+		return false
+	}
+	delete(rb.entries, xpl)
+	// The FIFO slice may retain a stale address; evictOldest skips those.
+	return true
+}
+
+func (rb *readBuffer) evictOldest() {
+	for len(rb.fifo) > 0 {
+		oldest := rb.fifo[0]
+		rb.fifo = rb.fifo[1:]
+		if _, present := rb.entries[oldest]; present {
+			delete(rb.entries, oldest)
+			rb.evictions++
+			return
+		}
+		// Stale FIFO entry (already taken by the write buffer); skip.
+	}
+}
+
+// Len reports the number of buffered XPLines.
+func (rb *readBuffer) Len() int { return len(rb.entries) }

@@ -1,0 +1,189 @@
+package optane
+
+import (
+	"optanesim/internal/mem"
+	"optanesim/internal/sim"
+)
+
+// writeBuffer models the on-DIMM write-combining buffer (§3.2). It
+// absorbs 64 B writes arriving from the WPQ, merging writes to the same
+// XPLine. Its policies are generation specific:
+//
+//   - G1 writes fully-modified XPLines back to the media periodically
+//     (~every 5000 cycles) and evicts in random batches once occupancy
+//     reaches a 12 KB high watermark, producing Fig. 3/4's sharp knees.
+//   - G2 disables the periodic write-back and evicts single random
+//     victims at full capacity, producing a graceful hit-ratio decline.
+//
+// Evicting a partially written XPLine requires a read-modify-write: the
+// missing bytes are read from the media (or taken from the read buffer)
+// before the 256 B media write.
+type writeBuffer struct {
+	prof *Profile
+	rng  *sim.Rand
+
+	entries map[mem.Addr]*wbEntry
+	order   []mem.Addr // occupancy list for victim selection
+
+	// fullQueue holds fully written XPLines awaiting periodic write-back
+	// (G1 only), oldest first.
+	fullQueue []mem.Addr
+
+	merges      uint64
+	allocations uint64
+	evictions   uint64
+	periodicWBs uint64
+}
+
+type wbEntry struct {
+	xpl      mem.Addr
+	written  [mem.LinesPerXPLine]bool
+	nWritten int
+	// hasBase records whether the full 256 B of backing data are present
+	// (all four lines written, or the entry transitioned from the read
+	// buffer), in which case eviction needs no RMW media read.
+	hasBase bool
+	fullAt  sim.Cycles // when the entry became fully written
+}
+
+func newWriteBuffer(prof *Profile, rng *sim.Rand) *writeBuffer {
+	return &writeBuffer{
+		prof:    prof,
+		rng:     rng,
+		entries: make(map[mem.Addr]*wbEntry, prof.WriteBufLines),
+	}
+}
+
+// Contains reports whether the cacheline at addr has current data in the
+// write buffer (either that line was written, or full base data is
+// present).
+func (wb *writeBuffer) Contains(addr mem.Addr) bool {
+	e, present := wb.entries[addr.XPLine()]
+	if !present {
+		return false
+	}
+	return e.hasBase || e.written[addr.LineInXPLine()]
+}
+
+// ContainsXPLine reports whether the XPLine containing addr has an entry.
+func (wb *writeBuffer) ContainsXPLine(addr mem.Addr) bool {
+	_, present := wb.entries[addr.XPLine()]
+	return present
+}
+
+// Merge records a 64 B write into an existing entry, reporting whether
+// one was present. When the write completes the XPLine, the entry is
+// queued for G1's periodic write-back.
+func (wb *writeBuffer) Merge(addr mem.Addr, now sim.Cycles) bool {
+	e, present := wb.entries[addr.XPLine()]
+	if !present {
+		return false
+	}
+	wb.merges++
+	idx := addr.LineInXPLine()
+	if !e.written[idx] {
+		e.written[idx] = true
+		e.nWritten++
+		if e.nWritten == mem.LinesPerXPLine {
+			e.hasBase = true
+			e.fullAt = now
+			if wb.prof.PeriodicWritebackCycles > 0 {
+				wb.fullQueue = append(wb.fullQueue, e.xpl)
+			}
+		}
+	}
+	return true
+}
+
+// Allocate installs a fresh entry for the XPLine containing addr with the
+// given cacheline written. hasBase marks entries seeded with full data
+// (e.g. transitioned from the read buffer).
+func (wb *writeBuffer) Allocate(addr mem.Addr, hasBase bool, now sim.Cycles) {
+	xpl := addr.XPLine()
+	e := &wbEntry{xpl: xpl, hasBase: hasBase}
+	idx := addr.LineInXPLine()
+	e.written[idx] = true
+	e.nWritten = 1
+	wb.entries[xpl] = e
+	if len(wb.order) >= 4*wb.prof.WriteBufLines && len(wb.order) >= 2*len(wb.entries) {
+		wb.compactOrder()
+	}
+	wb.order = append(wb.order, xpl)
+	wb.allocations++
+	if e.nWritten == mem.LinesPerXPLine {
+		e.fullAt = now
+	}
+}
+
+// NeedsEviction reports whether an allocation would push occupancy past
+// the generation's high watermark.
+func (wb *writeBuffer) NeedsEviction() bool {
+	return len(wb.entries) >= wb.prof.WriteBufHighWater
+}
+
+// PickVictims selects up to n random resident XPLines for eviction and
+// removes them from the buffer, returning their entries.
+func (wb *writeBuffer) PickVictims(n int) []*wbEntry {
+	victims := make([]*wbEntry, 0, n)
+	for len(victims) < n && len(wb.entries) > 0 {
+		// Compact lazily: drop stale order slots as we encounter them.
+		i := wb.rng.Intn(len(wb.order))
+		xpl := wb.order[i]
+		e, present := wb.entries[xpl]
+		last := len(wb.order) - 1
+		wb.order[i] = wb.order[last]
+		wb.order = wb.order[:last]
+		if !present {
+			continue
+		}
+		delete(wb.entries, xpl)
+		wb.evictions++
+		victims = append(victims, e)
+	}
+	return victims
+}
+
+// DuePeriodic pops the fully written XPLines whose periodic write-back
+// deadline (fullAt + interval) has passed by now. The returned entries
+// have been removed from the buffer. Entries that were evicted or
+// re-allocated in the meantime are skipped.
+func (wb *writeBuffer) DuePeriodic(now sim.Cycles) []*wbEntry {
+	if wb.prof.PeriodicWritebackCycles <= 0 {
+		return nil
+	}
+	var due []*wbEntry
+	for len(wb.fullQueue) > 0 {
+		xpl := wb.fullQueue[0]
+		e, present := wb.entries[xpl]
+		if !present || e.nWritten != mem.LinesPerXPLine {
+			wb.fullQueue = wb.fullQueue[1:]
+			continue
+		}
+		if e.fullAt+wb.prof.PeriodicWritebackCycles > now {
+			break
+		}
+		wb.fullQueue = wb.fullQueue[1:]
+		delete(wb.entries, xpl)
+		wb.periodicWBs++
+		due = append(due, e)
+	}
+	return due
+}
+
+// compactOrder drops stale occupancy slots (XPLines that were removed by
+// periodic write-back) in place, preserving insertion order so victim
+// selection stays deterministic.
+func (wb *writeBuffer) compactOrder() {
+	kept := wb.order[:0]
+	seen := make(map[mem.Addr]bool, len(wb.entries))
+	for _, xpl := range wb.order {
+		if _, present := wb.entries[xpl]; present && !seen[xpl] {
+			seen[xpl] = true
+			kept = append(kept, xpl)
+		}
+	}
+	wb.order = kept
+}
+
+// Len reports the number of resident XPLine entries.
+func (wb *writeBuffer) Len() int { return len(wb.entries) }

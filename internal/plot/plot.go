@@ -1,0 +1,148 @@
+// Package plot renders simple ASCII line charts for the experiment CLI,
+// so the paper's figures can be eyeballed directly in a terminal
+// without any plotting dependencies.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// markers distinguish series on the canvas.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Options configures a chart.
+type Options struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 64x16).
+	Width, Height int
+	// LogX maps the x axis logarithmically (for WSS sweeps).
+	LogX bool
+}
+
+// Render draws the series into a chart string.
+func Render(o Options, series ...Series) string {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+
+	// Collect ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if o.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log2(x)
+			}
+			any = true
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if !any {
+		return o.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom on y.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	canvas := make([][]byte, o.Height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", o.Width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if o.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log2(x)
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(o.Width-1))
+			row := o.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(o.Height-1))
+			if col < 0 || col >= o.Width || row < 0 || row >= o.Height {
+				continue
+			}
+			canvas[row][col] = m
+		}
+	}
+
+	var b strings.Builder
+	if o.Title != "" {
+		fmt.Fprintf(&b, "%s\n", o.Title)
+	}
+	// y-axis labels at top, middle, bottom.
+	label := func(row int) string {
+		v := ymax - (ymax-ymin)*float64(row)/float64(o.Height-1)
+		return fmt.Sprintf("%9.4g", v)
+	}
+	for r := 0; r < o.Height; r++ {
+		switch r {
+		case 0, o.Height / 2, o.Height - 1:
+			fmt.Fprintf(&b, "%s |%s|\n", label(r), canvas[r])
+		default:
+			fmt.Fprintf(&b, "%9s |%s|\n", "", canvas[r])
+		}
+	}
+	// x-axis.
+	fmt.Fprintf(&b, "%9s +%s+\n", "", strings.Repeat("-", o.Width))
+	xl, xr := xmin, xmax
+	if o.LogX {
+		xl, xr = math.Exp2(xmin), math.Exp2(xmax)
+	}
+	axis := fmt.Sprintf("%-.4g", xl)
+	right := fmt.Sprintf("%.4g", xr)
+	gap := o.Width - len(axis) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	mid := ""
+	if o.XLabel != "" {
+		mid = o.XLabel
+		if len(mid)+2 > gap {
+			mid = ""
+		}
+	}
+	left := (gap - len(mid)) / 2
+	fmt.Fprintf(&b, "%9s  %s%s%s%s%s\n", "",
+		axis, strings.Repeat(" ", left), mid,
+		strings.Repeat(" ", gap-left-len(mid)), right)
+	// Legend.
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Label))
+	}
+	if o.YLabel != "" {
+		fmt.Fprintf(&b, "%9s  y: %s   %s\n", "", o.YLabel, strings.Join(legend, "   "))
+	} else {
+		fmt.Fprintf(&b, "%9s  %s\n", "", strings.Join(legend, "   "))
+	}
+	return b.String()
+}

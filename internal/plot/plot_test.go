@@ -1,0 +1,69 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := Render(Options{Title: "t", XLabel: "x", YLabel: "y", Width: 40, Height: 10},
+		Series{Label: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		Series{Label: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	)
+	if !strings.Contains(out, "t\n") || !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("missing title/legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// title + height rows + axis + labels + legend
+	if len(lines) < 13 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	// With 5%% headroom, the ascending series' extremes land within the
+	// top and bottom two plot rows.
+	if !strings.Contains(lines[1], "*") && !strings.Contains(lines[2], "*") {
+		t.Fatalf("max not plotted near the top:\n%s", out)
+	}
+	if !strings.Contains(lines[9], "*") && !strings.Contains(lines[10], "*") {
+		t.Fatalf("min not plotted near the bottom:\n%s", out)
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	out := Render(Options{LogX: true, Width: 33, Height: 8},
+		Series{Label: "s", X: []float64{4096, 65536, 1048576}, Y: []float64{1, 2, 3}},
+	)
+	// In log space the three x positions are equidistant; columns 0,
+	// mid, end must each carry a marker.
+	rows := strings.Split(out, "\n")
+	var stars []int
+	for _, r := range rows {
+		bar := strings.IndexByte(r, '|')
+		if bar < 0 {
+			continue // axis or legend line
+		}
+		if i := strings.IndexByte(r, '*'); i >= 0 {
+			stars = append(stars, i-bar-1)
+		}
+	}
+	if len(stars) != 3 {
+		t.Fatalf("markers = %v\n%s", stars, out)
+	}
+	if stars[2] != 0 || stars[1] != 16 || stars[0] != 32 {
+		t.Fatalf("log-x spacing wrong: %v\n%s", stars, out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(Options{Title: "empty"})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty render: %q", out)
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	out := Render(Options{Width: 20, Height: 5},
+		Series{Label: "flat", X: []float64{1, 2, 3}, Y: []float64{7, 7, 7}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}

@@ -1,0 +1,90 @@
+// Package pmem is the persistent-memory programming layer the case
+// studies build on: simulated-address heaps backed by real Go memory (so
+// data structures are functionally correct), sessions that couple the
+// data plane to a simulated thread's timing plane, and the persist
+// helpers (flush+fence) persistent programs use.
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"optanesim/internal/mem"
+)
+
+// Heap is a bump allocator over a contiguous region of the simulated
+// address space, backed by a Go byte slice that holds the actual data.
+type Heap struct {
+	name string
+	base mem.Addr
+	buf  []byte
+	off  uint64
+}
+
+// NewPMHeap returns a heap of size bytes in the persistent-memory
+// region.
+func NewPMHeap(size uint64) *Heap {
+	return &Heap{name: "pm", base: mem.PMBase, buf: make([]byte, size)}
+}
+
+// NewDRAMHeap returns a heap of size bytes in the DRAM region. The first
+// page is skipped so address 0 is never handed out.
+func NewDRAMHeap(size uint64) *Heap {
+	return &Heap{name: "dram", base: 4096, buf: make([]byte, size)}
+}
+
+// Base returns the heap's first address.
+func (h *Heap) Base() mem.Addr { return h.base }
+
+// Size returns the heap's capacity in bytes.
+func (h *Heap) Size() uint64 { return uint64(len(h.buf)) }
+
+// Used returns the bytes allocated so far.
+func (h *Heap) Used() uint64 { return h.off }
+
+// Alloc reserves n bytes aligned to align (a power of two) and returns
+// the first address. It panics when the heap is exhausted — simulation
+// workloads size their heaps up front.
+func (h *Heap) Alloc(n, align uint64) mem.Addr {
+	if align == 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("pmem: alignment %d is not a power of two", align))
+	}
+	off := (h.off + align - 1) &^ (align - 1)
+	if off+n > uint64(len(h.buf)) {
+		panic(fmt.Sprintf("pmem: %s heap exhausted: need %d at %d of %d", h.name, n, off, len(h.buf)))
+	}
+	h.off = off + n
+	return h.base + mem.Addr(off)
+}
+
+// Contains reports whether addr falls inside the heap.
+func (h *Heap) Contains(addr mem.Addr) bool {
+	return addr >= h.base && addr < h.base+mem.Addr(len(h.buf))
+}
+
+// Bytes returns the live backing bytes for [addr, addr+n).
+func (h *Heap) Bytes(addr mem.Addr, n int) []byte {
+	off := int(addr - h.base)
+	return h.buf[off : off+n]
+}
+
+// Uint64 reads the data-plane value at addr.
+func (h *Heap) Uint64(addr mem.Addr) uint64 {
+	return binary.LittleEndian.Uint64(h.Bytes(addr, 8))
+}
+
+// PutUint64 writes the data-plane value at addr.
+func (h *Heap) PutUint64(addr mem.Addr, v uint64) {
+	binary.LittleEndian.PutUint64(h.Bytes(addr, 8), v)
+}
+
+// Reset discards all allocations and zeroes the backing store.
+func (h *Heap) Reset() {
+	for i := range h.buf {
+		h.buf[i] = 0
+	}
+	h.off = 0
+}

@@ -1,0 +1,177 @@
+package pmem
+
+import (
+	"fmt"
+
+	"optanesim/internal/machine"
+	"optanesim/internal/mem"
+	"optanesim/internal/sim"
+)
+
+// Session couples a simulated thread (the timing plane) with one or more
+// heaps (the data plane). Data-structure code uses a Session for every
+// access so that functional behaviour and simulated cost stay in sync.
+type Session struct {
+	T     *machine.Thread
+	heaps []*Heap
+}
+
+// NewSession builds a session over the given heaps.
+func NewSession(t *machine.Thread, heaps ...*Heap) *Session {
+	return &Session{T: t, heaps: heaps}
+}
+
+// NewFreeSession builds a session with no timing plane: accesses touch
+// the data plane only and charge no simulated cycles. Used to pre-build
+// large structures outside the measured region.
+func NewFreeSession(heaps ...*Heap) *Session {
+	return &Session{heaps: heaps}
+}
+
+// WithThread returns a session over the same heaps bound to another
+// thread (e.g. a helper prefetch thread).
+func (s *Session) WithThread(t *machine.Thread) *Session {
+	return &Session{T: t, heaps: s.heaps}
+}
+
+// heapFor locates the heap containing addr.
+func (s *Session) heapFor(addr mem.Addr) *Heap {
+	for _, h := range s.heaps {
+		if h.Contains(addr) {
+			return h
+		}
+	}
+	panic(fmt.Sprintf("pmem: address %v outside all session heaps", addr))
+}
+
+// Load64 reads a uint64, charging one cacheline load. The load is
+// treated as data-dependent (its result feeds subsequent addresses), so
+// it does not issue out of order.
+func (s *Session) Load64(addr mem.Addr) uint64 {
+	if s.T != nil {
+		s.T.LoadDep(addr)
+	}
+	return s.heapFor(addr).Uint64(addr)
+}
+
+// Store64 writes a uint64, charging one cacheline store.
+func (s *Session) Store64(addr mem.Addr, v uint64) {
+	if s.T != nil {
+		s.T.Store(addr)
+	}
+	s.heapFor(addr).PutUint64(addr, v)
+}
+
+// Peek64 reads the data plane without charging simulated time (for
+// assertions and bookkeeping outside the measured path).
+func (s *Session) Peek64(addr mem.Addr) uint64 {
+	return s.heapFor(addr).Uint64(addr)
+}
+
+// Poke64 writes the data plane without charging simulated time.
+func (s *Session) Poke64(addr mem.Addr, v uint64) {
+	s.heapFor(addr).PutUint64(addr, v)
+}
+
+// LoadRange charges loads for every cacheline overlapping [addr,addr+n)
+// and returns the live backing bytes.
+func (s *Session) LoadRange(addr mem.Addr, n int) []byte {
+	if s.T != nil {
+		for line := addr.Line(); line < addr+mem.Addr(n); line += mem.CachelineSize {
+			s.T.Load(line)
+		}
+	}
+	return s.heapFor(addr).Bytes(addr, n)
+}
+
+// StoreRange copies data into the heap, charging stores for every
+// cacheline it overlaps.
+func (s *Session) StoreRange(addr mem.Addr, data []byte) {
+	if s.T != nil {
+		for line := addr.Line(); line < addr+mem.Addr(len(data)); line += mem.CachelineSize {
+			s.T.Store(line)
+		}
+	}
+	copy(s.heapFor(addr).Bytes(addr, len(data)), data)
+}
+
+// NTStore64 writes a uint64 with a non-temporal store.
+func (s *Session) NTStore64(addr mem.Addr, v uint64) {
+	if s.T != nil {
+		s.T.NTStore(addr)
+	}
+	s.heapFor(addr).PutUint64(addr, v)
+}
+
+// Flush issues clwb for every cacheline overlapping [addr, addr+n).
+func (s *Session) Flush(addr mem.Addr, n int) {
+	if s.T == nil {
+		return
+	}
+	for line := addr.Line(); line < addr+mem.Addr(n); line += mem.CachelineSize {
+		s.T.CLWB(line)
+	}
+}
+
+// Persist is the canonical persistence barrier: clwb over the range
+// followed by sfence.
+func (s *Session) Persist(addr mem.Addr, n int) {
+	if s.T == nil {
+		return
+	}
+	s.Flush(addr, n)
+	s.T.SFence()
+}
+
+// Tag sets the timing thread's attribution tag (no-op for free
+// sessions).
+func (s *Session) Tag(tag string) {
+	if s.T != nil {
+		s.T.SetTag(tag)
+	}
+}
+
+// LoadLine charges one dependent cacheline load without touching data.
+func (s *Session) LoadLine(addr mem.Addr) {
+	if s.T != nil {
+		s.T.LoadDep(addr)
+	}
+}
+
+// StoreLine charges one cacheline store without touching data.
+func (s *Session) StoreLine(addr mem.Addr) {
+	if s.T != nil {
+		s.T.Store(addr)
+	}
+}
+
+// Fence charges an sfence.
+func (s *Session) Fence() {
+	if s.T != nil {
+		s.T.SFence()
+	}
+}
+
+// LoadGroup charges several independent cacheline loads that issue in
+// parallel (out of order), advancing to the latest completion.
+func (s *Session) LoadGroup(addrs ...mem.Addr) {
+	if s.T != nil {
+		s.T.LoadParallel(addrs...)
+	}
+}
+
+// Compute charges n cycles of computation on the timing plane.
+func (s *Session) Compute(n sim.Cycles) {
+	if s.T != nil {
+		s.T.Compute(n)
+	}
+}
+
+// FenceOrdered charges an mfence: a full persistence barrier that also
+// orders subsequent loads (used by workloads whose recovery logic
+// requires load ordering, e.g. the §4.2 B+-tree baseline).
+func (s *Session) FenceOrdered() {
+	if s.T != nil {
+		s.T.MFence()
+	}
+}

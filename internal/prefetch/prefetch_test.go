@@ -1,0 +1,155 @@
+package prefetch
+
+import (
+	"testing"
+
+	"optanesim/internal/mem"
+)
+
+func TestDisabledProposesNothing(t *testing.T) {
+	u := NewUnit(None())
+	for i := 0; i < 10; i++ {
+		if got := u.OnAccess(mem.Addr(i*64), true, false); len(got) != 0 {
+			t.Fatalf("disabled unit proposed %v", got)
+		}
+	}
+}
+
+func TestAdjacentNextLineOnMiss(t *testing.T) {
+	u := NewUnit(Config{Adjacent: true})
+	got := u.OnAccess(0x1000, true, false)
+	if len(got) != 1 || got[0] != 0x1040 {
+		t.Fatalf("adjacent on miss proposed %v, want [0x1040]", got)
+	}
+	// No trigger on a plain (unconfirmed) hit.
+	if got := u.OnAccess(0x1000, false, false); len(got) != 0 {
+		t.Fatalf("adjacent on plain hit proposed %v", got)
+	}
+	// Confirmation triggers.
+	if got := u.OnAccess(0x1040, false, true); len(got) != 1 || got[0] != 0x1080 {
+		t.Fatalf("adjacent on confirmation proposed %v", got)
+	}
+}
+
+func TestDCUFourAhead(t *testing.T) {
+	u := NewUnit(Config{DCU: true})
+	got := u.OnAccess(0x2000, true, false)
+	want := []mem.Addr{0x2040, 0x2080, 0x20C0, 0x2100}
+	if len(got) != len(want) {
+		t.Fatalf("dcu proposed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dcu proposed %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPageBoundaryRespected(t *testing.T) {
+	u := NewUnit(Config{DCU: true, Adjacent: true})
+	// Last line of a page: everything would cross.
+	got := u.OnAccess(0x3FC0, true, false)
+	if len(got) != 0 {
+		t.Fatalf("prefetch crossed a 4KB page: %v", got)
+	}
+}
+
+func TestHWStreamTrainsAndThrottles(t *testing.T) {
+	u := NewUnit(Config{HW: true})
+	base := mem.Addr(0x10000)
+	// A fresh 4-access ascending stream fires only on every 4th
+	// training (confidence throttling on short streams).
+	fired := 0
+	for s := 0; s < 8; s++ {
+		page := base + mem.Addr(s*4096)
+		var got []mem.Addr
+		for i := 0; i < 4; i++ {
+			got = u.OnAccess(page+mem.Addr(i*64), true, false)
+		}
+		if len(got) > 0 {
+			fired++
+			if got[0] != page+4*64 {
+				t.Fatalf("short-stream prefetch target %v", got)
+			}
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("short streams fired %d of 8, want 2 (1-in-4 throttle)", fired)
+	}
+}
+
+func TestHWStreamMatureRampsAhead(t *testing.T) {
+	u := NewUnit(Config{HW: true})
+	base := mem.Addr(0x40000)
+	proposed := make(map[mem.Addr]bool)
+	for i := 0; i < 30; i++ {
+		for _, a := range u.OnAccess(base+mem.Addr(i*64), true, false) {
+			proposed[a] = true
+		}
+	}
+	// A long stream must prefetch well ahead of the last demand access.
+	ahead := 0
+	for a := range proposed {
+		if a > base+29*64 {
+			ahead++
+		}
+	}
+	if ahead < 4 {
+		t.Fatalf("mature stream only %d lines ahead (proposed %d total)", ahead, len(proposed))
+	}
+}
+
+func TestHWStreamDetectsStride(t *testing.T) {
+	u := NewUnit(Config{HW: true})
+	base := mem.Addr(0x80000)
+	const stride = 256 // one XPLine, like the §3.6 element walk
+	proposed := make(map[mem.Addr]bool)
+	for i := 0; i < 12; i++ {
+		for _, a := range u.OnAccess(base+mem.Addr(i*stride), true, false) {
+			proposed[a] = true
+		}
+	}
+	found := false
+	for a := range proposed {
+		if a > base+11*stride && (a-base)%stride == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("strided stream not followed ahead of demand: %d proposals", len(proposed))
+	}
+}
+
+func TestHWStreamResetsOnRandomJump(t *testing.T) {
+	u := NewUnit(Config{HW: true})
+	base := mem.Addr(0xC0000)
+	for i := 0; i < 3; i++ {
+		u.OnAccess(base+mem.Addr(i*64), true, false)
+	}
+	// Backward jump inside the page kills the stream...
+	u.OnAccess(base, true, false)
+	// ...so the next two ascending accesses are still retraining.
+	if got := u.OnAccess(base+64, true, false); len(got) != 0 {
+		t.Fatalf("stream survived reset: %v", got)
+	}
+}
+
+func TestIssuedCounter(t *testing.T) {
+	u := NewUnit(Config{DCU: true})
+	u.OnAccess(0, true, false)
+	if u.Issued() != 4 {
+		t.Fatalf("Issued = %d, want 4", u.Issued())
+	}
+}
+
+func TestProposeDedups(t *testing.T) {
+	u := NewUnit(Config{Adjacent: true, DCU: true})
+	got := u.OnAccess(0x5000, true, false)
+	seen := make(map[mem.Addr]bool)
+	for _, a := range got {
+		if seen[a] {
+			t.Fatalf("duplicate proposal %v in %v", a, got)
+		}
+		seen[a] = true
+	}
+}

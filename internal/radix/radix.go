@@ -1,0 +1,253 @@
+// Package radix implements a WORT-flavored persistent radix tree (Lee
+// et al., FAST '17 — cited by the paper as the pre-Optane
+// write-optimal index design): 4-bit span nodes with leaf path
+// compression, where every structural change is published with a single
+// 8-byte atomic pointer store plus one persistence barrier — no logging
+// required. It completes the repository's persistent-index trio next to
+// CCEH (§4.1) and the FAST & FAIR B+-tree (§4.2).
+package radix
+
+import (
+	"fmt"
+
+	"optanesim/internal/mem"
+	"optanesim/internal/pmem"
+)
+
+// Geometry: 4-bit span = 16 slots of 8 bytes (two cachelines per node).
+const (
+	span      = 4
+	fanout    = 1 << span // 16
+	nodeBytes = fanout * 8
+	// leafBytes holds (key, value).
+	leafBytes = 16
+	// maxDepth is the number of nibbles in a 64-bit key.
+	maxDepth = 64 / span
+)
+
+// Pointer tagging: low bit set = leaf.
+const leafTag = 1
+
+// Tree is one radix tree instance.
+type Tree struct {
+	heap *pmem.Heap
+	// root is the address of the root node (depth-0 slots).
+	root mem.Addr
+
+	nodes  int
+	leaves int
+}
+
+// New allocates an empty tree.
+func New(s *pmem.Session, h *pmem.Heap) *Tree {
+	t := &Tree{heap: h}
+	t.root = t.newNode(s)
+	return t
+}
+
+// Nodes returns the number of internal nodes allocated.
+func (t *Tree) Nodes() int { return t.nodes }
+
+// Leaves returns the number of leaf records allocated.
+func (t *Tree) Leaves() int { return t.leaves }
+
+func (t *Tree) newNode(s *pmem.Session) mem.Addr {
+	n := t.heap.Alloc(nodeBytes, mem.CachelineSize)
+	// Nodes must be zeroed and persisted before they are linked in, so
+	// a crash never exposes uninitialized slots.
+	for l := mem.Addr(0); l < nodeBytes; l += mem.CachelineSize {
+		s.StoreLine(n + l)
+	}
+	s.Persist(n, nodeBytes)
+	t.nodes++
+	return n
+}
+
+func (t *Tree) newLeaf(s *pmem.Session, key, value uint64) mem.Addr {
+	l := t.heap.Alloc(leafBytes, leafBytes)
+	s.Poke64(l, key)
+	s.Poke64(l+8, value)
+	s.StoreLine(l)
+	s.Persist(l, leafBytes)
+	t.leaves++
+	return l
+}
+
+// nibble extracts the d-th 4-bit chunk of key, most significant first.
+func nibble(key uint64, d int) int {
+	return int(key>>(64-span*(d+1))) & (fanout - 1)
+}
+
+func slot(node mem.Addr, idx int) mem.Addr {
+	return node + mem.Addr(8*idx)
+}
+
+// Insert adds key -> value (key must be non-zero). Duplicates overwrite
+// the leaf value in place (8-byte atomic store + barrier).
+func (t *Tree) Insert(s *pmem.Session, key, value uint64) error {
+	if key == 0 {
+		return fmt.Errorf("radix: zero key is reserved")
+	}
+	node := t.root
+	for d := 0; d < maxDepth; d++ {
+		sl := slot(node, nibble(key, d))
+		ptr := mem.Addr(s.Load64(sl))
+		switch {
+		case ptr == 0:
+			// Empty slot: install the leaf with one atomic store.
+			leaf := t.newLeaf(s, key, value)
+			s.Store64(sl, uint64(leaf)|leafTag)
+			s.Persist(sl, 8)
+			return nil
+
+		case ptr&leafTag != 0:
+			// Occupied by a leaf: overwrite or split.
+			leaf := ptr &^ leafTag
+			s.LoadLine(leaf)
+			existing := s.Peek64(leaf)
+			if existing == key {
+				s.Store64(leaf+8, value)
+				s.Persist(leaf+8, 8)
+				return nil
+			}
+			// Build the divergence chain off to the side, then publish
+			// it with a single atomic pointer swap (WORT's trick).
+			top, err := t.buildChain(s, d+1, existing, ptr, key, value)
+			if err != nil {
+				return err
+			}
+			s.Store64(sl, uint64(top))
+			s.Persist(sl, 8)
+			return nil
+
+		default:
+			node = ptr
+		}
+	}
+	return fmt.Errorf("radix: key space exhausted (duplicate 64-bit key paths)")
+}
+
+// buildChain creates internal nodes covering the shared nibbles of
+// oldKey and newKey starting at depth d, attaches the old leaf pointer
+// and a new leaf, persists everything, and returns the chain's top node
+// (not yet linked into the tree).
+func (t *Tree) buildChain(s *pmem.Session, d int, oldKey uint64, oldPtr mem.Addr, newKey, newValue uint64) (mem.Addr, error) {
+	if d >= maxDepth {
+		return 0, fmt.Errorf("radix: identical keys diverged nowhere")
+	}
+	top := t.newNode(s)
+	node := top
+	depth := d
+	for depth < maxDepth && nibble(oldKey, depth) == nibble(newKey, depth) {
+		child := t.newNode(s)
+		s.Store64(slot(node, nibble(oldKey, depth)), uint64(child))
+		s.Persist(slot(node, nibble(oldKey, depth)), 8)
+		node = child
+		depth++
+	}
+	if depth >= maxDepth {
+		return 0, fmt.Errorf("radix: identical keys diverged nowhere")
+	}
+	newLeaf := t.newLeaf(s, newKey, newValue)
+	s.Store64(slot(node, nibble(oldKey, depth)), uint64(oldPtr))
+	s.Store64(slot(node, nibble(newKey, depth)), uint64(newLeaf)|leafTag)
+	s.Persist(slot(node, nibble(oldKey, depth)).Line(), mem.CachelineSize)
+	if slot(node, nibble(newKey, depth)).Line() != slot(node, nibble(oldKey, depth)).Line() {
+		s.Persist(slot(node, nibble(newKey, depth)).Line(), mem.CachelineSize)
+	}
+	return top, nil
+}
+
+// Get returns the value stored for key.
+func (t *Tree) Get(s *pmem.Session, key uint64) (uint64, bool) {
+	node := t.root
+	for d := 0; d < maxDepth; d++ {
+		sl := slot(node, nibble(key, d))
+		ptr := mem.Addr(s.Load64(sl))
+		switch {
+		case ptr == 0:
+			return 0, false
+		case ptr&leafTag != 0:
+			leaf := ptr &^ leafTag
+			s.LoadLine(leaf)
+			if s.Peek64(leaf) != key {
+				return 0, false
+			}
+			return s.Peek64(leaf + 8), true
+		default:
+			node = ptr
+		}
+	}
+	return 0, false
+}
+
+// Delete removes key, reporting whether it was present. The slot is
+// cleared with one atomic store (interior chains are left in place, as
+// in WORT — they are reclaimed only by rebuild).
+func (t *Tree) Delete(s *pmem.Session, key uint64) bool {
+	node := t.root
+	for d := 0; d < maxDepth; d++ {
+		sl := slot(node, nibble(key, d))
+		ptr := mem.Addr(s.Load64(sl))
+		switch {
+		case ptr == 0:
+			return false
+		case ptr&leafTag != 0:
+			leaf := ptr &^ leafTag
+			s.LoadLine(leaf)
+			if s.Peek64(leaf) != key {
+				return false
+			}
+			s.Store64(sl, 0)
+			s.Persist(sl, 8)
+			return true
+		default:
+			node = ptr
+		}
+	}
+	return false
+}
+
+// Validate walks the whole tree through the data plane checking that
+// every reachable leaf's key actually routes to its position.
+func (t *Tree) Validate(s *pmem.Session) error {
+	return t.validateNode(s, t.root, 0, 0)
+}
+
+func (t *Tree) validateNode(s *pmem.Session, node mem.Addr, depth int, prefix uint64) error {
+	if depth >= maxDepth {
+		return fmt.Errorf("radix: chain deeper than the key length")
+	}
+	for i := 0; i < fanout; i++ {
+		ptr := mem.Addr(s.Peek64(slot(node, i)))
+		if ptr == 0 {
+			continue
+		}
+		childPrefix := prefix | uint64(i)<<(64-span*(depth+1))
+		if ptr&leafTag != 0 {
+			leaf := ptr &^ leafTag
+			if !t.heap.Contains(leaf) {
+				return fmt.Errorf("radix: leaf outside the heap at depth %d", depth)
+			}
+			key := s.Peek64(leaf)
+			mask := ^uint64(0) << (64 - span*(depth+1))
+			if key&mask != childPrefix {
+				return fmt.Errorf("radix: leaf key %#x misrouted at depth %d (prefix %#x)", key, depth, childPrefix)
+			}
+			continue
+		}
+		if !t.heap.Contains(ptr) {
+			return fmt.Errorf("radix: node pointer outside the heap at depth %d", depth)
+		}
+		if err := t.validateNode(s, ptr, depth+1, childPrefix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HeapFor estimates heap bytes for n random keys (nodes + leaves, with
+// headroom for divergence chains).
+func HeapFor(n int) uint64 {
+	return uint64(n)*(leafBytes+3*nodeBytes) + (8 << 20)
+}

@@ -1,0 +1,176 @@
+package radix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"optanesim/internal/machine"
+	"optanesim/internal/pmem"
+	"optanesim/internal/sim"
+	"optanesim/internal/workload"
+)
+
+func newFreeTree(n int) (*Tree, *pmem.Session) {
+	h := pmem.NewPMHeap(HeapFor(n))
+	s := pmem.NewFreeSession(h)
+	return New(s, h), s
+}
+
+func TestInsertGet(t *testing.T) {
+	tr, s := newFreeTree(30000)
+	keys := workload.SequenceKeys(61, 30000)
+	for i, k := range keys {
+		if err := tr.Insert(s, k, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		v, ok := tr.Get(s, k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("get %d: (%d,%v) want (%d,true)", k, v, ok, i)
+		}
+	}
+	if _, ok := tr.Get(s, 0xABCD_0000_0000_0001); ok {
+		t.Fatal("absent key found")
+	}
+	if tr.Nodes() == 0 || tr.Leaves() != 30000 {
+		t.Fatalf("structure counters wrong: nodes=%d leaves=%d", tr.Nodes(), tr.Leaves())
+	}
+	if err := tr.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tr, s := newFreeTree(100)
+	if err := tr.Insert(s, 42, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(s, 42, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.Get(s, 42); !ok || v != 2 {
+		t.Fatalf("overwrite: (%d,%v)", v, ok)
+	}
+	if tr.Leaves() != 1 {
+		t.Fatalf("overwrite allocated a new leaf: %d", tr.Leaves())
+	}
+}
+
+func TestSharedPrefixSplit(t *testing.T) {
+	tr, s := newFreeTree(100)
+	// Keys sharing 13 leading nibbles force a long divergence chain.
+	a := uint64(0x1234_5678_9ABC_D111)
+	b := uint64(0x1234_5678_9ABC_D222)
+	if err := tr.Insert(s, a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(s, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.Get(s, a); !ok || v != 1 {
+		t.Fatalf("a: (%d,%v)", v, ok)
+	}
+	if v, ok := tr.Get(s, b); !ok || v != 2 {
+		t.Fatalf("b: (%d,%v)", v, ok)
+	}
+	if err := tr.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, s := newFreeTree(10000)
+	keys := workload.SequenceKeys(63, 10000)
+	for _, k := range keys {
+		if err := tr.Insert(s, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < len(keys); i += 2 {
+		if !tr.Delete(s, keys[i]) {
+			t.Fatal("delete of present key failed")
+		}
+	}
+	for i, k := range keys {
+		_, ok := tr.Get(s, k)
+		if (i%2 == 0) == ok {
+			t.Fatalf("key %d: present=%v after deletions", k, ok)
+		}
+	}
+	if tr.Delete(s, 0xDDDD_0000_0000_0003) {
+		t.Fatal("delete of absent key succeeded")
+	}
+	if err := tr.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroKeyRejected(t *testing.T) {
+	tr, s := newFreeTree(10)
+	if err := tr.Insert(s, 0, 1); err == nil {
+		t.Fatal("zero key accepted")
+	}
+}
+
+// TestQuickMapEquivalence property-checks inserts, overwrites and
+// deletes against a map.
+func TestQuickMapEquivalence(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		ops := int(opsRaw)%2000 + 10
+		tr, s := newFreeTree(ops + 16)
+		ref := make(map[uint64]uint64)
+		rng := sim.NewRand(seed)
+		keys := workload.SequenceKeys(seed, ops)
+		for i := 0; i < ops; i++ {
+			k := keys[rng.Intn(len(keys))]
+			if rng.Intn(4) == 0 {
+				delete(ref, k)
+				tr.Delete(s, k)
+			} else {
+				ref[k] = uint64(i)
+				if tr.Insert(s, k, uint64(i)) != nil {
+					return false
+				}
+			}
+		}
+		for k, v := range ref {
+			if got, ok := tr.Get(s, k); !ok || got != v {
+				return false
+			}
+		}
+		return tr.Validate(s) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimedInsertUsesAtomicPublishes: a radix insert charges only
+// 8-byte-store persists (no shifts, no logging) — each insert costs a
+// couple of barriers at most.
+func TestTimedInsertUsesAtomicPublishes(t *testing.T) {
+	sys := machine.MustNewSystem(machine.G1Config(1))
+	h := pmem.NewPMHeap(HeapFor(3000))
+	free := pmem.NewFreeSession(h)
+	tr := New(free, h)
+	keys := workload.SequenceKeys(65, 2000)
+	sys.Go("w", 0, false, func(th *machine.Thread) {
+		s := pmem.NewSession(th, h)
+		for i, k := range keys {
+			if err := tr.Insert(s, k, uint64(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	sys.Run()
+	if sys.PMCounters().IMCWriteBytes == 0 {
+		t.Fatal("no PM write traffic")
+	}
+	for i, k := range keys {
+		if v, ok := tr.Get(free, k); !ok || v != uint64(i) {
+			t.Fatalf("timed insert lost key %d", k)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPortsSingleServerQueues(t *testing.T) {
+	p := NewPorts(1)
+	start, done := p.Acquire(100, 50)
+	if start != 100 || done != 150 {
+		t.Fatalf("first acquire: got (%d,%d), want (100,150)", start, done)
+	}
+	// Arriving earlier than the server frees: queued.
+	start, done = p.Acquire(120, 50)
+	if start != 150 || done != 200 {
+		t.Fatalf("queued acquire: got (%d,%d), want (150,200)", start, done)
+	}
+	// Arriving after: no queueing.
+	start, done = p.Acquire(500, 25)
+	if start != 500 || done != 525 {
+		t.Fatalf("idle acquire: got (%d,%d), want (500,525)", start, done)
+	}
+	if p.BusyCycles() != 125 {
+		t.Fatalf("busy cycles = %d, want 125", p.BusyCycles())
+	}
+}
+
+func TestPortsParallelServers(t *testing.T) {
+	p := NewPorts(2)
+	_, d1 := p.Acquire(0, 100)
+	_, d2 := p.Acquire(0, 100)
+	if d1 != 100 || d2 != 100 {
+		t.Fatalf("two servers should run in parallel: %d, %d", d1, d2)
+	}
+	start, _ := p.Acquire(0, 100)
+	if start != 100 {
+		t.Fatalf("third job should wait for a server: start=%d", start)
+	}
+}
+
+func TestPortsNextFree(t *testing.T) {
+	p := NewPorts(2)
+	p.Acquire(0, 100)
+	p.Acquire(0, 300)
+	if nf := p.NextFree(); nf != 100 {
+		t.Fatalf("NextFree = %d, want 100", nf)
+	}
+	p.Reset()
+	if nf := p.NextFree(); nf != 0 {
+		t.Fatalf("after reset NextFree = %d, want 0", nf)
+	}
+}
+
+func TestPortsPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPorts(0) did not panic")
+		}
+	}()
+	NewPorts(0)
+}
+
+// Property: start >= now, done = start + service, and per-server
+// utilization never overlaps (total busy <= servers * horizon).
+func TestQuickPortsInvariants(t *testing.T) {
+	f := func(seed uint64, kRaw uint8, jobs uint8) bool {
+		k := int(kRaw)%4 + 1
+		rng := NewRand(seed)
+		p := NewPorts(k)
+		var now Cycles
+		var horizon Cycles
+		for j := 0; j < int(jobs); j++ {
+			now += Cycles(rng.Intn(50))
+			service := Cycles(rng.Intn(100) + 1)
+			start, done := p.Acquire(now, service)
+			if start < now || done != start+service {
+				return false
+			}
+			if done > horizon {
+				horizon = done
+			}
+		}
+		return p.BusyCycles() <= Cycles(k)*horizon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Fatal("Max broken")
+	}
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Fatal("Min broken")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(8)
+	same := true
+	a2 := NewRand(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandZeroSeedRemapped(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(42)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(11)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

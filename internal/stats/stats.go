@@ -1,0 +1,133 @@
+// Package stats provides deterministic summary statistics (mean,
+// min/max, exact or reservoir-sampled quantiles) for latency
+// distributions collected from simulation runs.
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"optanesim/internal/sim"
+)
+
+// defaultReservoir bounds memory for very long runs; below it the
+// quantiles are exact.
+const defaultReservoir = 1 << 18
+
+// Sample accumulates observations. The zero value is not ready; use New.
+type Sample struct {
+	vals     []float64
+	capacity int
+	rng      *sim.Rand
+	n        uint64 // total observations, including evicted ones
+	sum      float64
+	min, max float64
+	sorted   bool
+}
+
+// New returns a sample with the default reservoir capacity.
+func New() *Sample { return NewWithCapacity(defaultReservoir) }
+
+// NewWithCapacity returns a sample keeping at most capacity
+// observations; beyond it, reservoir sampling (seeded, deterministic)
+// keeps quantiles representative.
+func NewWithCapacity(capacity int) *Sample {
+	if capacity <= 0 {
+		capacity = defaultReservoir
+	}
+	return &Sample{
+		capacity: capacity,
+		rng:      sim.NewRand(0x5EED),
+		min:      +1e308,
+		max:      -1e308,
+	}
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.n++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+	s.sorted = false
+	if len(s.vals) < s.capacity {
+		s.vals = append(s.vals, v)
+		return
+	}
+	// Reservoir replacement with probability capacity/n.
+	if idx := s.rng.Uint64() % s.n; idx < uint64(s.capacity) {
+		s.vals[idx] = v
+	}
+}
+
+// AddCycles records a cycle count.
+func (s *Sample) AddCycles(c sim.Cycles) { s.Add(float64(c)) }
+
+// Count reports the number of observations.
+func (s *Sample) Count() uint64 { return s.n }
+
+// Mean reports the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min and Max report the extremes (0 when empty).
+func (s *Sample) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max reports the largest observation.
+func (s *Sample) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) using the nearest-rank
+// method over the (possibly sampled) observations.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.vals[0]
+	}
+	if q >= 1 {
+		return s.vals[len(s.vals)-1]
+	}
+	idx := int(q * float64(len(s.vals)))
+	if idx >= len(s.vals) {
+		idx = len(s.vals) - 1
+	}
+	return s.vals[idx]
+}
+
+// P50, P95 and P99 are quantile shorthands.
+func (s *Sample) P50() float64 { return s.Quantile(0.50) }
+
+// P95 reports the 95th percentile.
+func (s *Sample) P95() float64 { return s.Quantile(0.95) }
+
+// P99 reports the 99th percentile.
+func (s *Sample) P99() float64 { return s.Quantile(0.99) }
+
+// String renders a one-line summary.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+		s.n, s.Mean(), s.P50(), s.P95(), s.P99(), s.Max())
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"optanesim/internal/sim"
+)
+
+func TestExactQuantiles(t *testing.T) {
+	s := New()
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if s.Count() != 100 || s.Min() != 1 || s.Max() != 100 {
+		t.Fatalf("basic stats wrong: %v", s)
+	}
+	if m := s.Mean(); m != 50.5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if p := s.P50(); p < 49 || p > 52 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := s.P99(); p < 98 || p > 100 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 100 {
+		t.Fatal("extreme quantiles wrong")
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	s := New()
+	if s.Mean() != 0 || s.P99() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestReservoirStaysRepresentative(t *testing.T) {
+	s := NewWithCapacity(1000)
+	rng := sim.NewRand(1)
+	// Uniform [0, 10000): p50 should land near 5000.
+	for i := 0; i < 200000; i++ {
+		s.Add(float64(rng.Intn(10000)))
+	}
+	if s.Count() != 200000 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if p := s.P50(); p < 4000 || p > 6000 {
+		t.Fatalf("reservoir p50 = %v, want ~5000", p)
+	}
+	if len(s.vals) != 1000 {
+		t.Fatalf("reservoir grew to %d", len(s.vals))
+	}
+}
+
+func TestAddCycles(t *testing.T) {
+	s := New()
+	s.AddCycles(sim.Cycles(500))
+	if s.Max() != 500 {
+		t.Fatal("AddCycles broken")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		s := NewWithCapacity(100)
+		rng := sim.NewRand(9)
+		for i := 0; i < 10000; i++ {
+			s.Add(float64(rng.Intn(1000)))
+		}
+		return s.P95()
+	}
+	if run() != run() {
+		t.Fatal("reservoir sampling not deterministic")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw)%500 + 1
+		s := New()
+		rng := sim.NewRand(seed)
+		for i := 0; i < n; i++ {
+			s.Add(float64(rng.Intn(1 << 20)))
+		}
+		last := s.Min()
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			v := s.Quantile(q)
+			if v < last || v < s.Min() || v > s.Max() {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

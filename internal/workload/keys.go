@@ -1,0 +1,113 @@
+// Package workload provides the access-pattern and key generators that
+// drive the experiments: shuffled permutations, YCSB-style key
+// sequences, a Zipfian sampler, and the pointer-chase linked list of
+// §3.6.
+package workload
+
+import (
+	"math"
+
+	"optanesim/internal/sim"
+)
+
+// Permutation returns a pseudo-random permutation of [0, n) drawn from
+// rng.
+func Permutation(rng *sim.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+// UniqueKeys returns n distinct pseudo-random uint64 keys. Keys are
+// never zero (data structures use 0 as the empty slot marker).
+func UniqueKeys(rng *sim.Rand, n int) []uint64 {
+	seen := make(map[uint64]struct{}, n)
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := rng.Uint64()
+		if k == 0 {
+			continue
+		}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SplitMix64 is a bijective 64-bit mixer; distinct inputs give distinct
+// outputs, which makes it a fast generator of unique keys.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// SequenceKeys returns n distinct non-zero keys derived from the index
+// sequence via SplitMix64 (bijective, hence duplicate-free), offset by
+// salt so different callers get disjoint streams.
+func SequenceKeys(salt uint64, n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		k := SplitMix64(salt + uint64(i))
+		if k == 0 {
+			k = 1
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+// Zipf samples integers in [0, n) with a Zipfian distribution of
+// exponent theta (YCSB uses theta ~ 0.99). It implements the standard
+// Gray et al. quick method with precomputed constants.
+type Zipf struct {
+	rng   *sim.Rand
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	z2    float64
+}
+
+// NewZipf builds a Zipfian sampler over [0, n).
+func NewZipf(rng *sim.Rand, n int, theta float64) *Zipf {
+	z := &Zipf{rng: rng, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.z2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - powF(2.0/float64(n), 1-theta)) / (1 - z.z2/z.zetan)
+	return z
+}
+
+// Next samples the next index.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+powF(0.5, z.theta) {
+		return 1
+	}
+	idx := int(float64(z.n) * powF(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return idx
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / powF(float64(i), theta)
+	}
+	return sum
+}
+
+// powF is math.Pow, aliased to keep the Zipf formulas readable.
+func powF(x, y float64) float64 {
+	return math.Pow(x, y)
+}
