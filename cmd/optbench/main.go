@@ -4,33 +4,39 @@
 //
 // Usage:
 //
-//	optbench [-quick] <experiment>...
+//	optbench [-quick] [-j N] [-json dir] [-plot] <experiment>...
 //
 // where experiment is one of: fig2 fig3 fig4 fig6 fig7 fig8 table1
-// fig10 fig12 fig13 fig14 all. -quick runs each experiment at reduced
-// scale (useful for smoke tests); the default scale is what
-// EXPERIMENTS.md records.
+// fig10 fig12 fig13 fig14 ablation bandwidth ycsb sec33 latency indexes
+// all. -quick runs each experiment at reduced scale (useful for smoke
+// tests); the default scale is what EXPERIMENTS.md records.
+//
+// Independent experiment units (e.g. the two generations of fig2, the
+// eight panels of fig8) execute concurrently on a pool of -j workers,
+// each on its own simulator instance. Output order — and, with -json,
+// the structured records written as <dir>/<experiment>.jsonl — is
+// deterministic and byte-identical for every -j value; only the
+// wall-clock lines differ.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"time"
 
 	"optanesim/internal/bench"
+	"optanesim/internal/runner"
 )
 
 var (
 	quick   = flag.Bool("quick", false, "run at reduced scale")
 	doPlots = flag.Bool("plot", false, "also render ASCII charts of the figures")
+	jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "number of experiment units to run concurrently")
+	jsonDir = flag.String("json", "", "also write structured results as <dir>/<experiment>.jsonl")
 )
-
-// experiment names in the paper's order.
-var order = []string{
-	"fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
-	"table1", "fig10", "fig12", "fig13", "fig14", "ablation", "bandwidth", "ycsb", "sec33", "latency", "indexes",
-}
 
 func main() {
 	flag.Usage = usage
@@ -40,241 +46,97 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	order := bench.ExperimentNames()
 	var run []string
 	for _, a := range args {
 		if a == "all" {
 			run = order
 			break
 		}
-		if !known(a) {
+		if _, ok := bench.ExperimentUnits(a, bench.Options{}); !ok {
 			fmt.Fprintf(os.Stderr, "optbench: unknown experiment %q\n", a)
 			usage()
 			os.Exit(2)
 		}
 		run = append(run, a)
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "optbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// Flatten every selected experiment's units into one task list so
+	// the pool stays busy across experiment boundaries, remembering
+	// which result slots belong to which experiment.
+	opts := bench.Options{Quick: *quick}
+	var tasks []runner.Task
+	slots := make(map[string][]int, len(run))
 	for _, name := range run {
-		start := time.Now()
-		experiments[name]()
-		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		units, _ := bench.ExperimentUnits(name, opts)
+		for _, u := range units {
+			u := u
+			slots[name] = append(slots[name], len(tasks))
+			tasks = append(tasks, runner.Task{
+				ID:  u.ID(),
+				Run: func() (any, error) { return u.Run(), nil },
+			})
+		}
+	}
+
+	start := time.Now()
+	results := runner.Run(tasks, *jobs)
+
+	// Report in the deterministic submission order, not completion
+	// order.
+	failed := false
+	for _, name := range run {
+		var unitResults []bench.UnitResult
+		var expResults []runner.Result
+		expFailed := false
+		for _, i := range slots[name] {
+			r := results[i]
+			expResults = append(expResults, r)
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "optbench: %s: %v\n", r.ID, r.Err)
+				failed, expFailed = true, true
+				continue
+			}
+			ur := r.Value.(bench.UnitResult)
+			unitResults = append(unitResults, ur)
+			fmt.Println(ur.Text)
+			if *doPlots {
+				maybePlot(ur)
+			}
+		}
+		// A partial record set would look complete on disk; write only
+		// experiments whose every unit succeeded.
+		if *jsonDir != "" && !expFailed {
+			if err := writeJSONL(*jsonDir, name, unitResults); err != nil {
+				fmt.Fprintf(os.Stderr, "optbench: %v\n", err)
+				failed = true
+			}
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, runner.Wall(expResults).Round(time.Millisecond))
+	}
+	fmt.Printf("[total: %d experiments, %d units, -j %d, %v]\n",
+		len(run), len(tasks), *jobs, time.Since(start).Round(time.Millisecond))
+	if failed {
+		os.Exit(1)
 	}
 }
 
-func known(name string) bool {
-	_, ok := experiments[name]
-	return ok
+// writeJSONL writes one experiment's structured records as JSON lines.
+func writeJSONL(dir, name string, results []bench.UnitResult) error {
+	data, err := bench.EncodeJSONL(results)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".jsonl"), data, 0o644)
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] <experiment>...\nexperiments: %v all\n", order)
-}
-
-var experiments = map[string]func(){
-	"fig2":      runFig2,
-	"fig3":      runFig3,
-	"fig4":      runFig4,
-	"fig6":      runFig6,
-	"fig7":      runFig7,
-	"fig8":      runFig8,
-	"table1":    runTable1,
-	"fig10":     runFig10,
-	"fig12":     runFig12,
-	"fig13":     runFig13,
-	"fig14":     runFig14,
-	"ablation":  runAblation,
-	"bandwidth": runBandwidth,
-	"ycsb":      runYCSB,
-	"sec33":     runSec33,
-	"latency":   runLatency,
-	"indexes":   runIndexes,
-}
-
-// scale reduces an experiment knob under -quick.
-func scale(full, reduced int) int {
-	if *quick {
-		return reduced
-	}
-	return full
-}
-
-func runFig2() {
-	for _, gen := range []bench.Gen{bench.G1, bench.G2} {
-		pts := bench.Fig2(bench.Fig2Options{Gen: gen, Passes: scale(8, 3)})
-		fmt.Printf("[%s] %s\n", gen, bench.FormatFig2(pts))
-		if *doPlots {
-			plotFig2(gen, pts)
-		}
-	}
-}
-
-func runFig3() {
-	for _, gen := range []bench.Gen{bench.G1, bench.G2} {
-		pts := bench.Fig3(bench.Fig3Options{Gen: gen, Passes: scale(12, 4)})
-		fmt.Printf("[%s] %s\n", gen, bench.FormatFig3(pts))
-	}
-}
-
-func runFig4() {
-	pts := bench.Fig4(bench.Fig4Options{Writes: scale(20000, 5000)})
-	fmt.Println(bench.FormatFig4(pts))
-	if *doPlots {
-		plotFig4(pts)
-	}
-}
-
-func runFig6() {
-	for _, gen := range []bench.Gen{bench.G1, bench.G2} {
-		for _, set := range []bench.PrefetchSetting{
-			bench.PFNone, bench.PFHardware, bench.PFAdjacent, bench.PFDCUStreamer,
-		} {
-			pts := bench.Fig6(bench.Fig6Options{Gen: gen, Setting: set, MaxVisits: scale(40000, 8000)})
-			fmt.Println(bench.FormatFig6(gen, set, pts))
-		}
-	}
-}
-
-func runFig7() {
-	opts := bench.Fig7Options{Passes: scale(40, 10)}
-	if *quick {
-		opts.Distances = []int{0, 1, 2, 4, 8, 16, 40}
-	}
-	for _, gen := range []bench.Gen{bench.G1, bench.G2} {
-		for _, cell := range []struct {
-			pm, remote bool
-		}{
-			{true, false}, {false, false}, {true, true}, {false, true},
-		} {
-			curves := bench.Fig7Curves(gen, cell.pm, cell.remote, opts)
-			fmt.Println(bench.FormatFig7Panel(gen, cell.pm, cell.remote, curves))
-			if *doPlots {
-				plotFig7(gen, cell.pm, cell.remote, curves)
-			}
-		}
-	}
-}
-
-func runFig8() {
-	opts := bench.Fig8Options{MaxElements: scale(150000, 30000)}
-	for _, gen := range []bench.Gen{bench.G1, bench.G2} {
-		for _, mode := range []bench.Fig8Mode{
-			bench.Fig8Strict, bench.Fig8Relaxed, bench.Fig8PureRead, bench.Fig8PureWrite,
-		} {
-			series := bench.Fig8Panel(gen, mode, opts)
-			fmt.Println(bench.FormatFig8(gen, mode, series))
-			if *doPlots {
-				plotFig8(gen, mode, series)
-			}
-		}
-	}
-}
-
-func runTable1() {
-	rows := bench.Table1(bench.Table1Options{
-		PrebuildKeys:     scale(2_000_000, 500_000),
-		InsertsPerThread: scale(2_500, 1_000),
-	})
-	fmt.Println(bench.FormatTable1(rows))
-}
-
-func runFig10() {
-	opts := bench.Fig10Options{
-		PrebuildKeys: scale(2_000_000, 500_000),
-		TotalInserts: scale(12_000, 5_000),
-	}
-	if *quick {
-		opts.Workers = []int{1, 2, 5, 10}
-	}
-	pts := bench.Fig10(opts)
-	fmt.Println(bench.FormatFig10(opts, pts))
-	if *doPlots {
-		plotFig10("PM", pts)
-	}
-	opts.OnDRAM = true
-	pts = bench.Fig10(opts)
-	fmt.Println(bench.FormatFig10(opts, pts))
-	if *doPlots {
-		plotFig10("DRAM", pts)
-	}
-	// The paper notes single- and 6-DIMM results are similar at low
-	// worker counts; the fade at high counts is a few-DIMM effect (E7).
-	opts.OnDRAM = false
-	opts.DIMMs = 6
-	pts = bench.Fig10(opts)
-	fmt.Println("[6 interleaved DIMMs]")
-	fmt.Println(bench.FormatFig10(opts, pts))
-}
-
-func runFig12() {
-	opts := bench.Fig12Options{
-		PrebuildKeys:     scale(800_000, 300_000),
-		InsertsPerThread: scale(4_000, 1_500),
-	}
-	for _, gen := range []bench.Gen{bench.G1, bench.G2} {
-		opts.Gen = gen
-		pts := bench.Fig12(opts)
-		fmt.Println(bench.FormatFig12(gen, pts))
-		if *doPlots {
-			plotFig12(gen, pts)
-		}
-	}
-}
-
-func runIndexes() {
-	o := bench.IndexesOptions{
-		PrebuildKeys: scale(600_000, 200_000),
-		Ops:          scale(4_000, 1_500),
-	}
-	fmt.Println(bench.FormatIndexes(o, bench.Indexes(o)))
-}
-
-func runSec33() {
-	fmt.Println(bench.FormatSec33(bench.Sec33()))
-}
-
-func runLatency() {
-	for _, gen := range []bench.Gen{bench.G1, bench.G2} {
-		fmt.Println(bench.FormatLatencyTable(gen, bench.LatencyTable(gen)))
-	}
-}
-
-func runBandwidth() {
-	for _, gen := range []bench.Gen{bench.G1, bench.G2} {
-		o := bench.BandwidthOptions{Gen: gen, BytesPerThread: scale(2*bench.MB, 512*bench.KB)}
-		fmt.Println(bench.FormatBandwidth(o, bench.Bandwidth(o)))
-	}
-}
-
-func runYCSB() {
-	o := bench.YCSBOptions{
-		TableKeys: scale(1_000_000, 300_000),
-		Ops:       scale(30_000, 8_000),
-	}
-	fmt.Println(bench.FormatYCSB(o, bench.YCSB(o)))
-	o.OnDRAM = true
-	fmt.Println(bench.FormatYCSB(o, bench.YCSB(o)))
-}
-
-func runAblation() {
-	fmt.Println(bench.FormatAblations(bench.Ablations()))
-}
-
-func runFig13() {
-	for _, gen := range []bench.Gen{bench.G1, bench.G2} {
-		pts := bench.Fig13(bench.Fig13Options{Gen: gen, MaxVisits: scale(40000, 10000)})
-		fmt.Println(bench.FormatFig13(gen, pts))
-	}
-}
-
-func runFig14() {
-	for _, gen := range []bench.Gen{bench.G1, bench.G2} {
-		opts := bench.Fig14Options{Gen: gen, BlocksPerThread: scale(6000, 2000)}
-		if *quick {
-			opts.Threads = []int{1, 2, 4, 8, 12, 16}
-		}
-		pts := bench.Fig14(opts)
-		fmt.Println(bench.FormatFig14(gen, pts))
-		if *doPlots {
-			plotFig14(gen, pts)
-		}
-	}
+	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] <experiment>...\nexperiments: %v all\n",
+		bench.ExperimentNames())
 }

@@ -7,8 +7,32 @@ import (
 	"optanesim/internal/plot"
 )
 
+// maybePlot renders the ASCII chart(s) for unit results whose figures
+// have a plotted form. The unit label (e.g. "G1", "G1 local PM")
+// becomes part of the chart title.
+func maybePlot(r bench.UnitResult) {
+	switch data := r.Data.(type) {
+	case []bench.Fig2Point:
+		if r.Experiment == "fig2" {
+			plotFig2(r.Unit, data)
+		}
+	case []bench.Fig4Point:
+		plotFig4(data)
+	case []bench.Fig7Curve:
+		plotFig7(r.Unit, data)
+	case []bench.Fig8Series:
+		plotFig8(r.Unit, data)
+	case []bench.Fig10Point:
+		plotFig10(r.Unit, data)
+	case []bench.Fig12Point:
+		plotFig12(r.Unit, data)
+	case []bench.Fig14Point:
+		plotFig14(r.Unit, data)
+	}
+}
+
 // plotFig2 draws the RA curves like the paper's Fig. 2.
-func plotFig2(gen bench.Gen, pts []bench.Fig2Point) {
+func plotFig2(label string, pts []bench.Fig2Point) {
 	series := make([]plot.Series, 4)
 	for cpx := 1; cpx <= 4; cpx++ {
 		s := plot.Series{Label: fmt.Sprintf("%d cacheline(s)", cpx)}
@@ -19,7 +43,7 @@ func plotFig2(gen bench.Gen, pts []bench.Fig2Point) {
 		series[cpx-1] = s
 	}
 	fmt.Println(plot.Render(plot.Options{
-		Title: fmt.Sprintf("Fig. 2 (%s): read amplification vs WSS", gen), XLabel: "WSS", YLabel: "RA",
+		Title: fmt.Sprintf("Fig. 2 (%s): read amplification vs WSS", label), XLabel: "WSS", YLabel: "RA",
 	}, series...))
 }
 
@@ -39,35 +63,24 @@ func plotFig4(pts []bench.Fig4Point) {
 }
 
 // plotFig7 draws one panel's RAP curves.
-func plotFig7(gen bench.Gen, pm, remote bool, curves map[bench.RAPVariant][]bench.Fig7Point) {
-	dev, socket := "DRAM", "local"
-	if pm {
-		dev = "PM"
-	}
-	if remote {
-		socket = "remote"
-	}
+func plotFig7(label string, curves []bench.Fig7Curve) {
 	var series []plot.Series
-	for _, v := range []bench.RAPVariant{bench.RAPClwbMFence, bench.RAPClwbSFence, bench.RAPNTStoreMFence} {
-		pts, ok := curves[v]
-		if !ok {
-			continue
-		}
-		s := plot.Series{Label: v.String()}
-		for _, p := range pts {
+	for _, c := range curves {
+		s := plot.Series{Label: c.Variant}
+		for _, p := range c.Points {
 			s.X = append(s.X, float64(p.Distance))
 			s.Y = append(s.Y, p.Cycles)
 		}
 		series = append(series, s)
 	}
 	fmt.Println(plot.Render(plot.Options{
-		Title:  fmt.Sprintf("Fig. 7 (%s): RAP latency on %s %s", gen, socket, dev),
+		Title:  fmt.Sprintf("Fig. 7 (%s): RAP latency", label),
 		XLabel: "distance (cachelines)", YLabel: "cycles/iter",
 	}, series...))
 }
 
 // plotFig8 draws one panel's latency curves.
-func plotFig8(gen bench.Gen, mode bench.Fig8Mode, series []bench.Fig8Series) {
+func plotFig8(label string, series []bench.Fig8Series) {
 	var ps []plot.Series
 	for _, s := range series {
 		p := plot.Series{Label: s.Label}
@@ -78,7 +91,7 @@ func plotFig8(gen bench.Gen, mode bench.Fig8Mode, series []bench.Fig8Series) {
 		ps = append(ps, p)
 	}
 	fmt.Println(plot.Render(plot.Options{
-		Title:  fmt.Sprintf("Fig. 8 (%s, %s): cycles per element vs WSS", gen, mode),
+		Title:  fmt.Sprintf("Fig. 8 (%s): cycles per element vs WSS", label),
 		XLabel: "WSS", YLabel: "cycles", LogX: true,
 	}, ps...))
 }
@@ -105,7 +118,7 @@ func plotFig10(dev string, pts []bench.Fig10Point) {
 }
 
 // plotFig12 draws one generation's panels.
-func plotFig12(gen bench.Gen, pts []bench.Fig12Point) {
+func plotFig12(label string, pts []bench.Fig12Point) {
 	lat0 := plot.Series{Label: "in-place"}
 	lat1 := plot.Series{Label: "redo log"}
 	thr0 := plot.Series{Label: "in-place"}
@@ -118,15 +131,15 @@ func plotFig12(gen bench.Gen, pts []bench.Fig12Point) {
 		thr1.X, thr1.Y = append(thr1.X, x), append(thr1.Y, p.RedoMops)
 	}
 	fmt.Println(plot.Render(plot.Options{
-		Title: fmt.Sprintf("Fig. 12 (%s): B+-tree insert latency", gen), XLabel: "threads", YLabel: "cycles",
+		Title: fmt.Sprintf("Fig. 12 (%s): B+-tree insert latency", label), XLabel: "threads", YLabel: "cycles",
 	}, lat0, lat1))
 	fmt.Println(plot.Render(plot.Options{
-		Title: fmt.Sprintf("Fig. 12 (%s): B+-tree throughput", gen), XLabel: "threads", YLabel: "Mops/s",
+		Title: fmt.Sprintf("Fig. 12 (%s): B+-tree throughput", label), XLabel: "threads", YLabel: "Mops/s",
 	}, thr0, thr1))
 }
 
 // plotFig14 draws one generation's tradeoff panels.
-func plotFig14(gen bench.Gen, pts []bench.Fig14Point) {
+func plotFig14(label string, pts []bench.Fig14Point) {
 	lat0 := plot.Series{Label: "with prefetching"}
 	lat1 := plot.Series{Label: "optimized"}
 	thr0 := plot.Series{Label: "with prefetching"}
@@ -139,9 +152,9 @@ func plotFig14(gen bench.Gen, pts []bench.Fig14Point) {
 		thr1.X, thr1.Y = append(thr1.X, x), append(thr1.Y, p.OptGBs)
 	}
 	fmt.Println(plot.Render(plot.Options{
-		Title: fmt.Sprintf("Fig. 14 (%s): latency", gen), XLabel: "threads", YLabel: "cycles/block",
+		Title: fmt.Sprintf("Fig. 14 (%s): latency", label), XLabel: "threads", YLabel: "cycles/block",
 	}, lat0, lat1))
 	fmt.Println(plot.Render(plot.Options{
-		Title: fmt.Sprintf("Fig. 14 (%s): throughput", gen), XLabel: "threads", YLabel: "GB/s",
+		Title: fmt.Sprintf("Fig. 14 (%s): throughput", label), XLabel: "threads", YLabel: "GB/s",
 	}, thr0, thr1))
 }

@@ -201,6 +201,15 @@ func fig3RunWithConfig(cfg machine.Config, wss, linesPerXPL, passes int, random 
 	return c.WA()
 }
 
+// ablationUnits returns the experiment's single unit; the individual
+// ablations are quick enough that fan-out is not worth the panel split.
+func ablationUnits(Options) []Unit {
+	return []Unit{{Experiment: "ablation", Run: func() UnitResult {
+		results := Ablations()
+		return UnitResult{Experiment: "ablation", Data: results, Text: FormatAblations(results)}
+	}}}
+}
+
 // FormatAblations renders the ablation table.
 func FormatAblations(results []AblationResult) string {
 	header := []string{"design choice", "metric", "as characterized", "ablated"}

@@ -109,6 +109,23 @@ func bandwidthRun(o BandwidthOptions, threads int, write bool) float64 {
 	return float64(threads*o.BytesPerThread) / secs / 1e9
 }
 
+// bandwidthUnits returns one unit per generation.
+func bandwidthUnits(o Options) []Unit {
+	units := make([]Unit, 0, 2)
+	for _, gen := range []Gen{G1, G2} {
+		gen := gen
+		units = append(units, Unit{Experiment: "bandwidth", Name: gen.String(), Run: func() UnitResult {
+			opts := BandwidthOptions{Gen: gen, BytesPerThread: o.scale(2*MB, 512*KB)}
+			pts := Bandwidth(opts)
+			return UnitResult{
+				Experiment: "bandwidth", Unit: gen.String(), Data: pts,
+				Text: FormatBandwidth(opts, pts),
+			}
+		}})
+	}
+	return units
+}
+
 // FormatBandwidth renders the sweep.
 func FormatBandwidth(o BandwidthOptions, points []BandwidthPoint) string {
 	o.defaults()

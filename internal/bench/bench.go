@@ -28,6 +28,10 @@ func (g Gen) String() string {
 	return "G1"
 }
 
+// MarshalText renders the generation as "G1"/"G2" in JSON records,
+// both as a value and as a (sorted) map key.
+func (g Gen) MarshalText() ([]byte, error) { return []byte(g.String()), nil }
+
 // Config returns the machine configuration for the generation with n
 // cores.
 func (g Gen) Config(cores int) machine.Config {

@@ -1,0 +1,107 @@
+package bench_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"optanesim/internal/bench"
+	"optanesim/internal/runner"
+)
+
+// determinismUnits is the representative subset the determinism
+// regression runs: all of fig2 (pure read-amplification sweeps), one
+// fig8 panel (pointer chasing + persists; the whole figure at -quick
+// scale costs minutes on one core), and both ycsb units (CCEH with
+// Zipfian mixes and reservoir-sampled latency distributions — the
+// experiment most tempted to hide nondeterminism).
+func determinismUnits(t *testing.T) []bench.Unit {
+	t.Helper()
+	o := bench.Options{Quick: true}
+	var units []bench.Unit
+	keep := map[string]func(bench.Unit) bool{
+		"fig2": func(bench.Unit) bool { return true },
+		"fig8": func(u bench.Unit) bool { return u.Name == "G1 strict" },
+		"ycsb": func(bench.Unit) bool { return true },
+	}
+	for _, name := range []string{"fig2", "fig8", "ycsb"} {
+		exp, ok := bench.ExperimentUnits(name, o)
+		if !ok {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		n := 0
+		for _, u := range exp {
+			if keep[name](u) {
+				units = append(units, u)
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("experiment %q: no units selected", name)
+		}
+	}
+	return units
+}
+
+// runStructured executes the units on a pool of the given width and
+// returns the structured records exactly as optbench -json emits them.
+func runStructured(t *testing.T, units []bench.Unit, workers int) []byte {
+	t.Helper()
+	tasks := make([]runner.Task, len(units))
+	for i, u := range units {
+		u := u
+		tasks[i] = runner.Task{ID: u.ID(), Run: func() (any, error) { return u.Run(), nil }}
+	}
+	results := runner.Run(tasks, workers)
+	urs := make([]bench.UnitResult, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("unit %s: %v", r.ID, r.Err)
+		}
+		urs[i] = r.Value.(bench.UnitResult)
+	}
+	data, err := bench.EncodeJSONL(urs)
+	if err != nil {
+		t.Fatalf("encoding: %v", err)
+	}
+	return data
+}
+
+// TestDeterminismAcrossWorkerCounts asserts the tentpole guarantee:
+// the structured results of a run are byte-identical whether the units
+// execute sequentially (-j 1) or concurrently (-j 8). Each unit owns
+// its simulator instances, so parallel execution must not perturb a
+// single simulated cycle.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation sweep; skipped in -short mode")
+	}
+	units := determinismUnits(t)
+	seq := runStructured(t, units, 1)
+	par := runStructured(t, units, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("structured results differ between -j 1 and -j 8:\n%s", firstLineDiff(seq, par))
+	}
+	// And a second concurrent run must reproduce the first bit for bit.
+	again := runStructured(t, units, 8)
+	if !bytes.Equal(par, again) {
+		t.Fatalf("two -j 8 runs differ:\n%s", firstLineDiff(par, again))
+	}
+}
+
+// firstLineDiff renders the first differing line of two byte streams.
+func firstLineDiff(a, b []byte) string {
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  run A: %.200s\n  run B: %.200s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: %d vs %d", len(al), len(bl))
+}

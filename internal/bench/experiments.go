@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Options selects the scale of a registry-driven experiment run. The
+// zero value runs every experiment at the full scale EXPERIMENTS.md
+// records.
+type Options struct {
+	// Quick runs each experiment at reduced scale (smoke-test sized).
+	Quick bool
+}
+
+// scale picks the full or reduced value of a knob.
+func (o Options) scale(full, reduced int) int {
+	if o.Quick {
+		return reduced
+	}
+	return full
+}
+
+// Unit is one independently runnable slice of an experiment — e.g. one
+// generation's panel of a figure. Units build their own simulator
+// instances and share no mutable state, so a runner may execute the
+// units of one or many experiments concurrently; only the order of the
+// collected results matters for output determinism.
+type Unit struct {
+	// Experiment is the registry name, e.g. "fig2".
+	Experiment string
+	// Name distinguishes the unit within its experiment, e.g. "G1" or
+	// "G1 local PM". Empty for single-unit experiments.
+	Name string
+	// Run computes the unit's structured result.
+	Run func() UnitResult
+}
+
+// ID names the unit for task tracking: "fig2/G1", or just "table1" for
+// single-unit experiments.
+func (u Unit) ID() string {
+	if u.Name == "" {
+		return u.Experiment
+	}
+	return u.Experiment + "/" + u.Name
+}
+
+// UnitResult is the structured outcome of one unit: the typed result
+// rows/series the paper plots, plus the human-readable rendering. Data
+// is what -json emits; it must depend only on the simulation (never on
+// wall-clock time), so records are byte-identical across runs and
+// worker counts.
+type UnitResult struct {
+	Experiment string `json:"experiment"`
+	Unit       string `json:"unit,omitempty"`
+	Data       any    `json:"data"`
+	// Text is the rendering optbench prints; excluded from JSON.
+	Text string `json:"-"`
+}
+
+// experimentSpec ties a registry name to its unit constructor.
+type experimentSpec struct {
+	Name  string
+	Units func(Options) []Unit
+}
+
+// registry lists every experiment in the paper's order.
+var registry = []experimentSpec{
+	{"fig2", fig2Units},
+	{"fig3", fig3Units},
+	{"fig4", fig4Units},
+	{"fig6", fig6Units},
+	{"fig7", fig7Units},
+	{"fig8", fig8Units},
+	{"table1", table1Units},
+	{"fig10", fig10Units},
+	{"fig12", fig12Units},
+	{"fig13", fig13Units},
+	{"fig14", fig14Units},
+	{"ablation", ablationUnits},
+	{"bandwidth", bandwidthUnits},
+	{"ycsb", ycsbUnits},
+	{"sec33", sec33Units},
+	{"latency", latencyUnits},
+	{"indexes", indexesUnits},
+}
+
+// ExperimentNames lists the registered experiments in the paper's
+// order.
+func ExperimentNames() []string {
+	names := make([]string, len(registry))
+	for i, s := range registry {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ExperimentUnits returns the units of the named experiment at the
+// given scale, or false for an unknown name.
+func ExperimentUnits(name string, o Options) ([]Unit, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s.Units(o), true
+		}
+	}
+	return nil, false
+}
+
+// EncodeJSONL renders unit results as compact JSON lines, one line per
+// unit, in slice order. The encoding is deterministic: struct fields
+// keep declaration order and map keys are sorted, so two runs of the
+// same experiments produce byte-identical output regardless of worker
+// count.
+func EncodeJSONL(results []UnitResult) ([]byte, error) {
+	var b bytes.Buffer
+	for _, r := range results {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return nil, fmt.Errorf("bench: encoding %s/%s: %w", r.Experiment, r.Unit, err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.Bytes(), nil
+}
+
+// EncodeIndentedJSON renders unit results as an indented JSON array —
+// the format of the golden files under testdata, chosen so that drift
+// shows up as a readable line diff.
+func EncodeIndentedJSON(results []UnitResult) ([]byte, error) {
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

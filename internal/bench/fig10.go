@@ -139,6 +139,45 @@ func fig10Run(o Fig10Options, workers int, helper bool) (cyclesPerInsert, mops f
 	return cyclesPerInsert, mops
 }
 
+// fig10Units returns three units: the paper's single-DIMM PM panel,
+// the DRAM panel, and the 6-DIMM interleave the paper discusses in
+// prose (single- and 6-DIMM results are similar at low worker counts;
+// the fade at high counts is a few-DIMM effect, E7).
+func fig10Units(o Options) []Unit {
+	base := Fig10Options{
+		PrebuildKeys: o.scale(2_000_000, 500_000),
+		TotalInserts: o.scale(12_000, 5_000),
+	}
+	if o.Quick {
+		base.Workers = []int{1, 2, 5, 10}
+	}
+	cells := []struct {
+		name   string
+		onDRAM bool
+		dimms  int
+		prefix string
+	}{
+		{"PM", false, 0, ""},
+		{"DRAM", true, 0, ""},
+		{"PM 6-DIMM", false, 6, "[6 interleaved DIMMs]\n"},
+	}
+	units := make([]Unit, 0, len(cells))
+	for _, cell := range cells {
+		cell := cell
+		units = append(units, Unit{Experiment: "fig10", Name: cell.name, Run: func() UnitResult {
+			opts := base
+			opts.OnDRAM = cell.onDRAM
+			opts.DIMMs = cell.dimms
+			pts := Fig10(opts)
+			return UnitResult{
+				Experiment: "fig10", Unit: cell.name, Data: pts,
+				Text: cell.prefix + FormatFig10(opts, pts),
+			}
+		}})
+	}
+	return units
+}
+
 // FormatFig10 renders one device panel pair of Fig. 10.
 func FormatFig10(o Fig10Options, points []Fig10Point) string {
 	dev := "PM"

@@ -112,6 +112,26 @@ func fig12Run(o Fig12Options, threads int, mode btree.Mode) (cyclesPerInsert, mo
 	return cyclesPerInsert, mops
 }
 
+// fig12Units returns one unit per generation.
+func fig12Units(o Options) []Unit {
+	units := make([]Unit, 0, 2)
+	for _, gen := range []Gen{G1, G2} {
+		gen := gen
+		units = append(units, Unit{Experiment: "fig12", Name: gen.String(), Run: func() UnitResult {
+			pts := Fig12(Fig12Options{
+				Gen:              gen,
+				PrebuildKeys:     o.scale(800_000, 300_000),
+				InsertsPerThread: o.scale(4_000, 1_500),
+			})
+			return UnitResult{
+				Experiment: "fig12", Unit: gen.String(), Data: pts,
+				Text: FormatFig12(gen, pts),
+			}
+		}})
+	}
+	return units
+}
+
 // FormatFig12 renders one generation's Fig. 12 panels.
 func FormatFig12(gen Gen, points []Fig12Point) string {
 	header := []string{"threads", "lat(in-place)", "lat(redo)", "Mops(in-place)", "Mops(redo)"}

@@ -99,6 +99,22 @@ func fig13Run(gen Gen, wss, maxVisits int, optimized bool) trace.Counters {
 	return sys.PMCounters()
 }
 
+// fig13Units returns one unit per generation.
+func fig13Units(o Options) []Unit {
+	units := make([]Unit, 0, 2)
+	for _, gen := range []Gen{G1, G2} {
+		gen := gen
+		units = append(units, Unit{Experiment: "fig13", Name: gen.String(), Run: func() UnitResult {
+			pts := Fig13(Fig13Options{Gen: gen, MaxVisits: o.scale(40000, 10000)})
+			return UnitResult{
+				Experiment: "fig13", Unit: gen.String(), Data: pts,
+				Text: FormatFig13(gen, pts),
+			}
+		}})
+	}
+	return units
+}
+
 // FormatFig13 renders the panel.
 func FormatFig13(gen Gen, points []Fig13Point) string {
 	header := []string{"WSS", "iMC w/ prefetch", "PM w/ prefetch", "optimized PM"}

@@ -118,6 +118,26 @@ func fig14Run(o Fig14Options, threads int, optimized bool) (cyclesPerBlock, gbs 
 	return cyclesPerBlock, gbs
 }
 
+// fig14Units returns one unit per generation.
+func fig14Units(o Options) []Unit {
+	units := make([]Unit, 0, 2)
+	for _, gen := range []Gen{G1, G2} {
+		gen := gen
+		units = append(units, Unit{Experiment: "fig14", Name: gen.String(), Run: func() UnitResult {
+			opts := Fig14Options{Gen: gen, BlocksPerThread: o.scale(6000, 2000)}
+			if o.Quick {
+				opts.Threads = []int{1, 2, 4, 8, 12, 16}
+			}
+			pts := Fig14(opts)
+			return UnitResult{
+				Experiment: "fig14", Unit: gen.String(), Data: pts,
+				Text: FormatFig14(gen, pts),
+			}
+		}})
+	}
+	return units
+}
+
 // FormatFig14 renders the panel pair for one generation.
 func FormatFig14(gen Gen, points []Fig14Point) string {
 	header := []string{"threads", "lat(prefetch)", "lat(optimized)", "GB/s(prefetch)", "GB/s(optimized)"}

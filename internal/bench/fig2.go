@@ -91,6 +91,22 @@ func fig2Run(gen Gen, wss, cpx, passes int) float64 {
 	return sys.PMCounters().RA()
 }
 
+// fig2Units returns one unit per generation.
+func fig2Units(o Options) []Unit {
+	units := make([]Unit, 0, 2)
+	for _, gen := range []Gen{G1, G2} {
+		gen := gen
+		units = append(units, Unit{Experiment: "fig2", Name: gen.String(), Run: func() UnitResult {
+			pts := Fig2(Fig2Options{Gen: gen, Passes: o.scale(8, 3)})
+			return UnitResult{
+				Experiment: "fig2", Unit: gen.String(), Data: pts,
+				Text: fmt.Sprintf("[%s] %s", gen, FormatFig2(pts)),
+			}
+		}})
+	}
+	return units
+}
+
 // FormatFig2 renders the points as the paper's Fig. 2 table.
 func FormatFig2(points []Fig2Point) string {
 	header := []string{"WSS", "RA(CpX=1)", "RA(CpX=2)", "RA(CpX=3)", "RA(CpX=4)"}

@@ -102,6 +102,22 @@ func fig3Run(gen Gen, wss, linesPerXPL, passes int, random bool) float64 {
 	return c.WA()
 }
 
+// fig3Units returns one unit per generation.
+func fig3Units(o Options) []Unit {
+	units := make([]Unit, 0, 2)
+	for _, gen := range []Gen{G1, G2} {
+		gen := gen
+		units = append(units, Unit{Experiment: "fig3", Name: gen.String(), Run: func() UnitResult {
+			pts := Fig3(Fig3Options{Gen: gen, Passes: o.scale(12, 4)})
+			return UnitResult{
+				Experiment: "fig3", Unit: gen.String(), Data: pts,
+				Text: fmt.Sprintf("[%s] %s", gen, FormatFig3(pts)),
+			}
+		}})
+	}
+	return units
+}
+
 // FormatFig3 renders the points as the paper's Fig. 3.
 func FormatFig3(points []Fig3Point) string {
 	header := []string{"WSS", "WA(25%)", "WA(50%)", "WA(75%)", "WA(100%)"}

@@ -84,6 +84,15 @@ func fig4Run(gen Gen, wss, writes int) float64 {
 	return sys.PMCounters().WriteBufferHitRatio()
 }
 
+// fig4Units returns the experiment's single unit (both generations run
+// inside one sweep).
+func fig4Units(o Options) []Unit {
+	return []Unit{{Experiment: "fig4", Run: func() UnitResult {
+		pts := Fig4(Fig4Options{Writes: o.scale(20000, 5000)})
+		return UnitResult{Experiment: "fig4", Data: pts, Text: FormatFig4(pts)}
+	}}}
+}
+
 // FormatFig4 renders the points as the paper's Fig. 4.
 func FormatFig4(points []Fig4Point) string {
 	header := []string{"WSS", "hit(G1)", "hit(G2)"}

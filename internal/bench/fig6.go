@@ -135,6 +135,26 @@ func fig6Run(gen Gen, setting PrefetchSetting, wss, maxVisits int) Fig6Point {
 	return Fig6Point{WSSBytes: wss, PMRatio: c.PMReadRatio(), IMCRatio: c.IMCReadRatio()}
 }
 
+// fig6Units returns one unit per (generation, prefetcher setting)
+// panel.
+func fig6Units(o Options) []Unit {
+	var units []Unit
+	for _, gen := range []Gen{G1, G2} {
+		for _, set := range []PrefetchSetting{PFNone, PFHardware, PFAdjacent, PFDCUStreamer} {
+			gen, set := gen, set
+			name := fmt.Sprintf("%s %s", gen, set)
+			units = append(units, Unit{Experiment: "fig6", Name: name, Run: func() UnitResult {
+				pts := Fig6(Fig6Options{Gen: gen, Setting: set, MaxVisits: o.scale(40000, 8000)})
+				return UnitResult{
+					Experiment: "fig6", Unit: name, Data: pts,
+					Text: FormatFig6(gen, set, pts),
+				}
+			}})
+		}
+	}
+	return units
+}
+
 // FormatFig6 renders one panel of Fig. 6.
 func FormatFig6(gen Gen, setting PrefetchSetting, points []Fig6Point) string {
 	header := []string{"WSS", "PM ratio", "iMC ratio"}

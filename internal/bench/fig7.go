@@ -30,6 +30,10 @@ func (v RAPVariant) String() string {
 	}
 }
 
+// MarshalText renders the variant name in JSON records (including as a
+// map key, where encoding/json sorts the textual keys).
+func (v RAPVariant) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
 // Fig7Point is one x-position of one Fig. 7 panel: per-iteration latency
 // of Algorithm 1 at one read-after-persist distance.
 type Fig7Point struct {
@@ -158,6 +162,56 @@ func Fig7Curves(gen Gen, pm, remote bool, opts Fig7Options) map[RAPVariant][]Fig
 		series[v] = Fig7(opts)
 	}
 	return series
+}
+
+// Fig7Curve is one variant's series of a panel in JSON-friendly form:
+// curves carry their variant name and appear in the panel's legend
+// order rather than as map entries.
+type Fig7Curve struct {
+	Variant string
+	Points  []Fig7Point
+}
+
+// fig7PanelName labels one panel cell, e.g. "G1 local PM".
+func fig7PanelName(gen Gen, pm, remote bool) string {
+	dev, socket := "DRAM", "local"
+	if pm {
+		dev = "PM"
+	}
+	if remote {
+		socket = "remote"
+	}
+	return fmt.Sprintf("%s %s %s", gen, socket, dev)
+}
+
+// fig7Units returns one unit per (generation, device, socket) panel
+// cell; each unit runs all of the cell's persist variants.
+func fig7Units(o Options) []Unit {
+	opts := Fig7Options{Passes: o.scale(40, 10)}
+	if o.Quick {
+		opts.Distances = []int{0, 1, 2, 4, 8, 16, 40}
+	}
+	var units []Unit
+	for _, gen := range []Gen{G1, G2} {
+		for _, cell := range []struct{ pm, remote bool }{
+			{true, false}, {false, false}, {true, true}, {false, true},
+		} {
+			gen, cell := gen, cell
+			name := fig7PanelName(gen, cell.pm, cell.remote)
+			units = append(units, Unit{Experiment: "fig7", Name: name, Run: func() UnitResult {
+				curves := Fig7Curves(gen, cell.pm, cell.remote, opts)
+				ordered := make([]Fig7Curve, 0, len(curves))
+				for _, v := range Fig7Variants(cell.pm) {
+					ordered = append(ordered, Fig7Curve{Variant: v.String(), Points: curves[v]})
+				}
+				return UnitResult{
+					Experiment: "fig7", Unit: name, Data: ordered,
+					Text: FormatFig7Panel(gen, cell.pm, cell.remote, curves),
+				}
+			}})
+		}
+	}
+	return units
 }
 
 // Fig7Panel runs all three variants (or the two DRAM ones) for one

@@ -241,6 +241,30 @@ func wrLabel(random, nt bool) string {
 	return dir + "_" + kind
 }
 
+// fig8PanelModes are the panels optbench regenerates (Fig8Epoch is the
+// §3.6 extension, exposed through Fig8Panel but not part of the paper's
+// figure).
+var fig8PanelModes = []Fig8Mode{Fig8Strict, Fig8Relaxed, Fig8PureRead, Fig8PureWrite}
+
+// fig8Units returns one unit per (generation, mode) panel.
+func fig8Units(o Options) []Unit {
+	var units []Unit
+	for _, gen := range []Gen{G1, G2} {
+		for _, mode := range fig8PanelModes {
+			gen, mode := gen, mode
+			name := fmt.Sprintf("%s %s", gen, mode)
+			units = append(units, Unit{Experiment: "fig8", Name: name, Run: func() UnitResult {
+				series := Fig8Panel(gen, mode, Fig8Options{MaxElements: o.scale(150000, 30000)})
+				return UnitResult{
+					Experiment: "fig8", Unit: name, Data: series,
+					Text: FormatFig8(gen, mode, series),
+				}
+			}})
+		}
+	}
+	return units
+}
+
 // FormatFig8 renders a panel.
 func FormatFig8(gen Gen, mode Fig8Mode, series []Fig8Series) string {
 	header := []string{"WSS"}

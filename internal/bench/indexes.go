@@ -141,6 +141,18 @@ func indexRun(o IndexesOptions, name string, heapFor func(int) uint64, build fun
 	return res
 }
 
+// indexesUnits returns the experiment's single unit.
+func indexesUnits(o Options) []Unit {
+	return []Unit{{Experiment: "indexes", Run: func() UnitResult {
+		opts := IndexesOptions{
+			PrebuildKeys: o.scale(600_000, 200_000),
+			Ops:          o.scale(4_000, 1_500),
+		}
+		results := Indexes(opts)
+		return UnitResult{Experiment: "indexes", Data: results, Text: FormatIndexes(opts, results)}
+	}}}
+}
+
 // FormatIndexes renders the comparison.
 func FormatIndexes(o IndexesOptions, results []IndexResult) string {
 	o.defaults()

@@ -138,6 +138,30 @@ func Sec33() Sec33Result {
 	return r
 }
 
+// sec33Units returns the experiment's single unit.
+func sec33Units(Options) []Unit {
+	return []Unit{{Experiment: "sec33", Run: func() UnitResult {
+		r := Sec33()
+		return UnitResult{Experiment: "sec33", Data: r, Text: FormatSec33(r)}
+	}}}
+}
+
+// latencyUnits returns one idle-latency table unit per generation.
+func latencyUnits(Options) []Unit {
+	units := make([]Unit, 0, 2)
+	for _, gen := range []Gen{G1, G2} {
+		gen := gen
+		units = append(units, Unit{Experiment: "latency", Name: gen.String(), Run: func() UnitResult {
+			rows := LatencyTable(gen)
+			return UnitResult{
+				Experiment: "latency", Unit: gen.String(), Data: rows,
+				Text: FormatLatencyTable(gen, rows),
+			}
+		}})
+	}
+	return units
+}
+
 // FormatSec33 renders the two findings.
 func FormatSec33(r Sec33Result) string {
 	var b strings.Builder

@@ -96,6 +96,18 @@ func table1Run(o Table1Options, threads, dimms int) Table1Row {
 	}
 }
 
+// table1Units returns the experiment's single unit (the four
+// thread/DIMM configurations run inside one sweep).
+func table1Units(o Options) []Unit {
+	return []Unit{{Experiment: "table1", Run: func() UnitResult {
+		rows := Table1(Table1Options{
+			PrebuildKeys:     o.scale(2_000_000, 500_000),
+			InsertsPerThread: o.scale(2_500, 1_000),
+		})
+		return UnitResult{Experiment: "table1", Data: rows, Text: FormatTable1(rows)}
+	}}}
+}
+
 // FormatTable1 renders the rows like the paper's Table 1.
 func FormatTable1(rows []Table1Row) string {
 	header := []string{"Thread/DIMM", "Segment metadata", "Persists", "Misc."}

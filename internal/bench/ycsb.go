@@ -36,6 +36,9 @@ func (w YCSBWorkload) String() string {
 	}
 }
 
+// MarshalText renders the workload name in JSON records.
+func (w YCSBWorkload) MarshalText() ([]byte, error) { return []byte(w.String()), nil }
+
 // readFraction returns the workload's read percentage.
 func (w YCSBWorkload) readFraction() int {
 	switch w {
@@ -153,6 +156,32 @@ func ycsbRun(o YCSBOptions, wl YCSBWorkload) YCSBResult {
 		res.Mops = float64(o.Ops) / secs / 1e6
 	}
 	return res
+}
+
+// ycsbUnits returns one unit per device (the table on PM, then the
+// DRAM baseline).
+func ycsbUnits(o Options) []Unit {
+	units := make([]Unit, 0, 2)
+	for _, onDRAM := range []bool{false, true} {
+		onDRAM := onDRAM
+		name := "PM"
+		if onDRAM {
+			name = "DRAM"
+		}
+		units = append(units, Unit{Experiment: "ycsb", Name: name, Run: func() UnitResult {
+			opts := YCSBOptions{
+				TableKeys: o.scale(1_000_000, 300_000),
+				Ops:       o.scale(30_000, 8_000),
+				OnDRAM:    onDRAM,
+			}
+			results := YCSB(opts)
+			return UnitResult{
+				Experiment: "ycsb", Unit: name, Data: results,
+				Text: FormatYCSB(opts, results),
+			}
+		}})
+	}
+	return units
 }
 
 // FormatYCSB renders the workload comparison with latency percentiles.

@@ -1,0 +1,110 @@
+// Package runner executes independent experiment units on a bounded
+// worker pool. Every unit of work owns its simulator instances (the
+// bench drivers construct a fresh machine.System per run), so units can
+// execute concurrently without sharing simulation state; the pool's job
+// is only to bound parallelism and to hand results back in submission
+// order so that output stays deterministic regardless of worker count
+// or completion interleaving.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Task is one independent piece of work. Run must be self-contained:
+// it may not share mutable state with other tasks (each bench unit
+// builds its own simulated testbed).
+type Task struct {
+	// ID names the task in results and diagnostics, e.g. "fig2/G1".
+	ID string
+	// Run computes the task's value. A panic is captured as the
+	// result's Err rather than killing the pool.
+	Run func() (any, error)
+}
+
+// Result is the outcome of one task. Results are returned indexed
+// exactly like the submitted tasks, independent of execution order.
+type Result struct {
+	ID    string
+	Value any
+	Err   error
+	// Start and End bracket the task's execution wall-clock time.
+	Start, End time.Time
+}
+
+// Elapsed reports how long the task ran.
+func (r Result) Elapsed() time.Duration { return r.End.Sub(r.Start) }
+
+// Run executes tasks on at most workers concurrent goroutines and
+// returns one Result per task, in task order. workers <= 0 selects
+// GOMAXPROCS. Run blocks until every task has finished.
+func Run(tasks []Task, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	results := make([]Result, len(tasks))
+	if len(tasks) == 0 {
+		return results
+	}
+
+	// Workers pull indices from a channel and write to disjoint slots
+	// of results, so no locking is needed on the result slice itself.
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = run(tasks[i])
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// run executes one task, converting a panic into an error so a buggy
+// experiment cannot take down the whole sweep.
+func run(t Task) (res Result) {
+	res.ID = t.ID
+	res.Start = time.Now()
+	defer func() {
+		res.End = time.Now()
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("runner: task %q panicked: %v", t.ID, p)
+		}
+	}()
+	res.Value, res.Err = t.Run()
+	return res
+}
+
+// Wall reports the wall-clock span covered by the results: the time
+// from the earliest Start to the latest End. It is the per-experiment
+// elapsed time the CLI prints; with workers > 1 it is smaller than the
+// sum of the per-task times.
+func Wall(results []Result) time.Duration {
+	if len(results) == 0 {
+		return 0
+	}
+	start, end := results[0].Start, results[0].End
+	for _, r := range results[1:] {
+		if r.Start.Before(start) {
+			start = r.Start
+		}
+		if r.End.After(end) {
+			end = r.End
+		}
+	}
+	return end.Sub(start)
+}

@@ -1,0 +1,160 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunOrder checks that results come back in task order even when
+// tasks finish out of order.
+func TestRunOrder(t *testing.T) {
+	const n = 32
+	tasks := make([]Task, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = Task{
+			ID: fmt.Sprintf("task-%d", i),
+			Run: func() (any, error) {
+				// Earlier tasks sleep longer, so completion order is
+				// roughly the reverse of submission order.
+				time.Sleep(time.Duration(n-i) * time.Millisecond / 4)
+				return i, nil
+			},
+		}
+	}
+	results := Run(tasks, 8)
+	if len(results) != n {
+		t.Fatalf("got %d results, want %d", len(results), n)
+	}
+	for i, r := range results {
+		if r.ID != tasks[i].ID {
+			t.Errorf("results[%d].ID = %q, want %q", i, r.ID, tasks[i].ID)
+		}
+		if r.Value != i {
+			t.Errorf("results[%d].Value = %v, want %d", i, r.Value, i)
+		}
+		if r.Err != nil {
+			t.Errorf("results[%d].Err = %v", i, r.Err)
+		}
+		if r.End.Before(r.Start) {
+			t.Errorf("results[%d]: End before Start", i)
+		}
+	}
+}
+
+// TestRunBoundsWorkers checks that no more than the requested number of
+// tasks run concurrently.
+func TestRunBoundsWorkers(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	tasks := make([]Task, 50)
+	for i := range tasks {
+		tasks[i] = Task{
+			ID: fmt.Sprintf("t%d", i),
+			Run: func() (any, error) {
+				cur := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				inFlight.Add(-1)
+				return nil, nil
+			},
+		}
+	}
+	Run(tasks, workers)
+	if got := peak.Load(); got > workers {
+		t.Errorf("observed %d concurrent tasks, want <= %d", got, workers)
+	}
+}
+
+// TestRunPanicBecomesError checks that a panicking task is reported via
+// Err and does not prevent the other tasks from completing.
+func TestRunPanicBecomesError(t *testing.T) {
+	boom := errors.New("boom")
+	tasks := []Task{
+		{ID: "ok", Run: func() (any, error) { return "fine", nil }},
+		{ID: "panics", Run: func() (any, error) { panic("kaboom") }},
+		{ID: "fails", Run: func() (any, error) { return nil, boom }},
+		{ID: "also-ok", Run: func() (any, error) { return 7, nil }},
+	}
+	results := Run(tasks, 2)
+	if results[0].Err != nil || results[0].Value != "fine" {
+		t.Errorf("ok task: %+v", results[0])
+	}
+	if results[1].Err == nil {
+		t.Error("panicking task: want error, got nil")
+	}
+	if !errors.Is(results[2].Err, boom) {
+		t.Errorf("failing task: Err = %v, want %v", results[2].Err, boom)
+	}
+	if results[3].Err != nil || results[3].Value != 7 {
+		t.Errorf("also-ok task: %+v", results[3])
+	}
+}
+
+// TestRunZeroAndOversizedWorkers checks the worker-count edge cases:
+// workers <= 0 (use GOMAXPROCS) and workers > len(tasks).
+func TestRunZeroAndOversizedWorkers(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 1000} {
+		tasks := []Task{
+			{ID: "a", Run: func() (any, error) { return 1, nil }},
+			{ID: "b", Run: func() (any, error) { return 2, nil }},
+		}
+		results := Run(tasks, workers)
+		if results[0].Value != 1 || results[1].Value != 2 {
+			t.Errorf("workers=%d: got %v/%v", workers, results[0].Value, results[1].Value)
+		}
+	}
+	if got := Run(nil, 4); len(got) != 0 {
+		t.Errorf("Run(nil) returned %d results", len(got))
+	}
+}
+
+// TestRunStress hammers the pool with far more tasks than workers while
+// every task touches shared atomics. Run under -race this exercises the
+// pool's synchronization; the sum check catches lost or repeated tasks.
+func TestRunStress(t *testing.T) {
+	const n = 2000
+	var sum atomic.Int64
+	tasks := make([]Task, n)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{
+			ID:  fmt.Sprintf("s%d", i),
+			Run: func() (any, error) { sum.Add(int64(i)); return i, nil },
+		}
+	}
+	results := Run(tasks, 8)
+	want := int64(n * (n - 1) / 2)
+	if got := sum.Load(); got != want {
+		t.Errorf("task side-effect sum = %d, want %d", got, want)
+	}
+	for i, r := range results {
+		if r.Value != i {
+			t.Fatalf("results[%d].Value = %v, want %d", i, r.Value, i)
+		}
+	}
+}
+
+// TestWall checks the wall-clock span helper.
+func TestWall(t *testing.T) {
+	if Wall(nil) != 0 {
+		t.Error("Wall(nil) != 0")
+	}
+	base := time.Unix(1000, 0)
+	results := []Result{
+		{Start: base.Add(5 * time.Second), End: base.Add(6 * time.Second)},
+		{Start: base, End: base.Add(2 * time.Second)},
+		{Start: base.Add(1 * time.Second), End: base.Add(4 * time.Second)},
+	}
+	if got := Wall(results); got != 6*time.Second {
+		t.Errorf("Wall = %v, want 6s", got)
+	}
+}

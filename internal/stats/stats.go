@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -125,6 +126,32 @@ func (s *Sample) P95() float64 { return s.Quantile(0.95) }
 
 // P99 reports the 99th percentile.
 func (s *Sample) P99() float64 { return s.Quantile(0.99) }
+
+// Summary is the JSON shape of a sample: the derived statistics rather
+// than the raw reservoir, so records stay small and deterministic.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// MarshalJSON serializes the summary statistics. Without this the
+// sample's unexported fields would marshal as an empty object.
+func (s *Sample) MarshalJSON() ([]byte, error) {
+	return json.Marshal(Summary{
+		Count: s.Count(),
+		Mean:  s.Mean(),
+		Min:   s.Min(),
+		P50:   s.P50(),
+		P95:   s.P95(),
+		P99:   s.P99(),
+		Max:   s.Max(),
+	})
+}
 
 // String renders a one-line summary.
 func (s *Sample) String() string {
