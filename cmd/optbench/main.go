@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	optbench [-quick] [-j N] [-json dir] [-plot] <experiment>...
+//	optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] <experiment>...
 //
 // where experiment is one of: fig2 fig3 fig4 fig6 fig7 fig8 table1
 // fig10 fig12 fig13 fig14 ablation bandwidth ycsb sec33 latency indexes
@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"optanesim/internal/bench"
@@ -32,10 +33,12 @@ import (
 )
 
 var (
-	quick   = flag.Bool("quick", false, "run at reduced scale")
-	doPlots = flag.Bool("plot", false, "also render ASCII charts of the figures")
-	jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "number of experiment units to run concurrently")
-	jsonDir = flag.String("json", "", "also write structured results as <dir>/<experiment>.jsonl")
+	quick     = flag.Bool("quick", false, "run at reduced scale")
+	doPlots   = flag.Bool("plot", false, "also render ASCII charts of the figures")
+	jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "number of experiment units to run concurrently")
+	jsonDir   = flag.String("json", "", "also write structured results as <dir>/<experiment>.jsonl")
+	timeout   = flag.Duration("timeout", 0, "per-unit deadline (0 = none), e.g. 5m")
+	keepGoing = flag.Bool("keep-going", false, "run every unit even after one fails")
 )
 
 func main() {
@@ -86,11 +89,16 @@ func main() {
 	}
 
 	start := time.Now()
-	results := runner.Run(tasks, *jobs)
+	results := runner.RunConfig(tasks, runner.Config{
+		Workers:   *jobs,
+		Timeout:   *timeout,
+		KeepGoing: *keepGoing,
+	})
 
 	// Report in the deterministic submission order, not completion
 	// order.
 	failed := false
+	var failures []string
 	for _, name := range run {
 		var unitResults []bench.UnitResult
 		var expResults []runner.Result
@@ -101,6 +109,7 @@ func main() {
 			if r.Err != nil {
 				fmt.Fprintf(os.Stderr, "optbench: %s: %v\n", r.ID, r.Err)
 				failed, expFailed = true, true
+				failures = append(failures, fmt.Sprintf("%s: %s", r.ID, firstLine(r.Err.Error())))
 				continue
 			}
 			ur := r.Value.(bench.UnitResult)
@@ -123,8 +132,23 @@ func main() {
 	fmt.Printf("[total: %d experiments, %d units, -j %d, %v]\n",
 		len(run), len(tasks), *jobs, time.Since(start).Round(time.Millisecond))
 	if failed {
+		fmt.Fprintf(os.Stderr, "optbench: %d of %d units failed:\n", len(failures), len(tasks))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		if !*keepGoing {
+			fmt.Fprintln(os.Stderr, "optbench: (units not yet started were canceled; use -keep-going to run all)")
+		}
 		os.Exit(1)
 	}
+}
+
+// firstLine truncates multi-line errors (panic stacks) for the summary.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // writeJSONL writes one experiment's structured records as JSON lines.
@@ -137,6 +161,6 @@ func writeJSONL(dir, name string, results []bench.UnitResult) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] <experiment>...\nexperiments: %v all\n",
+	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] <experiment>...\nexperiments: %v all\n",
 		bench.ExperimentNames())
 }

@@ -6,6 +6,7 @@
 //
 //	pmsim workload.pmsim
 //	pmsim -            # read the script from stdin
+//	pmsim -crashmatrix # run the power-failure injection matrix instead
 //
 // Example script:
 //
@@ -19,27 +20,47 @@
 //	    sfence
 //	  end
 //	end
+//
+// With -crashmatrix, pmsim skips the script engine and sweeps the
+// crash-injection matrix over every persistent index (btree, cceh,
+// radix, kvstore), exiting non-zero if any enumerated post-crash image
+// fails its structure's recovery check.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"optanesim/internal/bench"
+	"optanesim/internal/runner"
 	"optanesim/internal/script"
 )
 
+var (
+	crashMatrix = flag.Bool("crashmatrix", false, "run the power-failure injection matrix over all persistent indexes")
+	quick       = flag.Bool("quick", false, "with -crashmatrix: reduced-scale traces")
+)
+
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: pmsim <script.pmsim | ->")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pmsim <script.pmsim | -> | pmsim -crashmatrix [-quick]")
+	}
+	flag.Parse()
+	if *crashMatrix {
+		os.Exit(runCrashMatrix())
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
 	var src []byte
 	var err error
-	if os.Args[1] == "-" {
+	if flag.Arg(0) == "-" {
 		src, err = io.ReadAll(os.Stdin)
 	} else {
-		src, err = os.ReadFile(os.Args[1])
+		src, err = os.ReadFile(flag.Arg(0))
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmsim:", err)
@@ -62,4 +83,28 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(res.Report)
+}
+
+// runCrashMatrix executes the crashmatrix experiment units on the
+// worker pool and reports per-structure outcomes.
+func runCrashMatrix() int {
+	units, _ := bench.ExperimentUnits("crashmatrix", bench.Options{Quick: *quick})
+	tasks := make([]runner.Task, len(units))
+	for i, u := range units {
+		u := u
+		tasks[i] = runner.Task{ID: u.ID(), Run: func() (any, error) { return u.Run(), nil }}
+	}
+	failed := false
+	for _, r := range runner.Run(tasks, 0) {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "pmsim: %s: %v\n", r.ID, r.Err)
+			failed = true
+			continue
+		}
+		fmt.Println(r.Value.(bench.UnitResult).Text)
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }

@@ -84,6 +84,7 @@ var registry = []experimentSpec{
 	{"sec33", sec33Units},
 	{"latency", latencyUnits},
 	{"indexes", indexesUnits},
+	{"crashmatrix", crashmatrixUnits},
 }
 
 // ExperimentNames lists the registered experiments in the paper's

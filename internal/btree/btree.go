@@ -59,17 +59,56 @@ type Tree struct {
 	heap *pmem.Heap
 	mode Mode
 	root mem.Addr
+	// super is the persistent superblock cell holding the root address;
+	// recovery reads the root from it, so root switches are persisted
+	// before they take effect.
+	super mem.Addr
 
 	height int
 	nodes  int
 	splits int
 }
 
-// New allocates an empty tree (a single empty leaf as root).
+// New allocates an empty tree (a single empty leaf as root) plus a
+// superblock cell that persistently names the root.
 func New(s *pmem.Session, h *pmem.Heap, mode Mode) *Tree {
 	t := &Tree{heap: h, mode: mode, height: 1}
-	t.root = t.newNode(s, true)
+	t.super = h.Alloc(mem.CachelineSize, mem.CachelineSize)
+	root := t.newNode(s, true)
+	t.setRoot(s, root)
 	return t
+}
+
+// Open rebuilds a tree handle from its persistent superblock (e.g. on a
+// post-crash memory image): the root comes from the superblock and the
+// height from a leftmost descent. Call Recover afterwards to complete
+// any in-flight split.
+func Open(s *pmem.Session, h *pmem.Heap, mode Mode, super mem.Addr) *Tree {
+	t := &Tree{heap: h, mode: mode, super: super}
+	t.root = mem.Addr(s.Peek64(super))
+	for n := t.root; ; n = mem.Addr(s.Peek64(slotAddr(n, 0) + 8)) {
+		t.height++
+		if t.isLeaf(s, n) {
+			break
+		}
+	}
+	return t
+}
+
+// Root returns the current root node address.
+func (t *Tree) Root() mem.Addr { return t.root }
+
+// Super returns the superblock address recovery needs to reopen the
+// tree.
+func (t *Tree) Super() mem.Addr { return t.super }
+
+// setRoot persists the new root into the superblock (atomic 8-byte
+// publish) before adopting it.
+func (t *Tree) setRoot(s *pmem.Session, root mem.Addr) {
+	s.Poke64(t.super, uint64(root))
+	s.StoreLine(t.super)
+	s.Persist(t.super, 8)
+	t.root = root
 }
 
 // Mode returns the tree's update mode.
@@ -138,15 +177,21 @@ type pathEntry struct {
 }
 
 // descend walks from the root to the leaf for key, recording the path.
+// When a key exceeds every separator of an internal node, the walk
+// follows the node's sibling pointer (B-link style): mid-split, the
+// upper half already lives in the right sibling before the parent
+// learns its separator.
 func (t *Tree) descend(s *pmem.Session, key uint64) (mem.Addr, []pathEntry) {
 	var path []pathEntry
 	n := t.root
 	for !t.isLeaf(s, n) {
 		idx := t.search(s, n, key)
-		// Internal nodes store (separator, child) with the convention
-		// that child i covers keys < separator i; slot 0's key is the
-		// smallest separator and the node's count is the slot count.
 		if idx >= t.count(s, n) {
+			if sib := mem.Addr(s.Peek64(n + headerSibling)); sib != 0 {
+				s.LoadLine(sib)
+				n = sib
+				continue
+			}
 			idx = t.count(s, n) - 1
 		}
 		path = append(path, pathEntry{node: n, idx: idx})
@@ -155,18 +200,26 @@ func (t *Tree) descend(s *pmem.Session, key uint64) (mem.Addr, []pathEntry) {
 	return n, path
 }
 
-// Get returns the value stored for key.
+// Get returns the value stored for key. A miss at the leaf's upper
+// boundary walks the sibling chain (the FAST & FAIR tolerance for
+// in-flight splits whose separator has not reached the parent yet).
 func (t *Tree) Get(s *pmem.Session, key uint64) (uint64, bool) {
 	leaf, _ := t.descend(s, key)
-	idx := t.search(s, leaf, key) - 1
-	if idx < 0 {
-		return 0, false
+	for leaf != 0 {
+		idx := t.search(s, leaf, key) - 1
+		if idx >= 0 && s.Peek64(slotAddr(leaf, idx)) == key {
+			return s.Peek64(slotAddr(leaf, idx) + 8), true
+		}
+		cnt := t.count(s, leaf)
+		if cnt > 0 && key <= s.Peek64(slotAddr(leaf, cnt-1)) {
+			return 0, false
+		}
+		leaf = mem.Addr(s.Peek64(leaf + headerSibling))
+		if leaf != 0 {
+			s.LoadLine(leaf)
+		}
 	}
-	a := slotAddr(leaf, idx)
-	if s.Peek64(a) != key {
-		return 0, false
-	}
-	return s.Peek64(a + 8), true
+	return 0, false
 }
 
 // Scan returns up to max keys >= start in ascending order (leaf sibling
@@ -230,24 +283,55 @@ func (t *Tree) insertIntoLeaf(w *Writer, n mem.Addr, key, val uint64) {
 		// FAST-style shift with a persistence barrier per shifted slot:
 		// the repeated load/flush of the same cacheline is the §4.2
 		// baseline's RAP bottleneck.
-		for i := cnt; i > pos; i-- {
-			src := slotAddr(n, i-1)
-			dst := slotAddr(n, i)
+		if pos == cnt {
+			// Append: populate the invisible slot, then publish it with
+			// the count (atomic 8-byte write).
+			a := slotAddr(n, pos)
+			s.Poke64(a+8, val)
+			s.Poke64(a, key)
+			s.StoreLine(a)
+			s.Flush(a.Line(), mem.CachelineSize)
+			s.FenceOrdered()
+		} else {
+			// Interior insert. Crash safety of the shift: first duplicate
+			// the top pair into the invisible slot and extend the count,
+			// so every interior copy that follows has a visible shadow —
+			// a torn slot write (8-byte granularity) is then always
+			// masked by the intact copy one slot up, because lookups take
+			// the LAST slot whose key matches. Values are copied before
+			// keys for the same reason.
+			src := slotAddr(n, cnt-1)
+			dst := slotAddr(n, cnt)
 			s.LoadLine(src)
-			k := s.Peek64(src)
-			v := s.Peek64(src + 8)
-			s.Poke64(dst, k)
-			s.Poke64(dst+8, v)
+			s.Poke64(dst+8, s.Peek64(src+8))
+			s.Poke64(dst, s.Peek64(src))
 			s.StoreLine(dst)
 			s.Flush(dst.Line(), mem.CachelineSize)
 			s.FenceOrdered()
+			s.Poke64(n+headerCount, uint64(cnt+1))
+			s.StoreLine(n)
+			s.Flush(n, mem.CachelineSize)
+			s.FenceOrdered()
+			for i := cnt - 1; i > pos; i-- {
+				src := slotAddr(n, i-1)
+				dst := slotAddr(n, i)
+				s.LoadLine(src)
+				v := s.Peek64(src + 8)
+				k := s.Peek64(src)
+				s.Poke64(dst+8, v)
+				s.Poke64(dst, k)
+				s.StoreLine(dst)
+				s.Flush(dst.Line(), mem.CachelineSize)
+				s.FenceOrdered()
+			}
+			a := slotAddr(n, pos)
+			s.Poke64(a+8, val)
+			s.Poke64(a, key)
+			s.StoreLine(a)
+			s.Flush(a.Line(), mem.CachelineSize)
+			s.FenceOrdered()
+			return
 		}
-		a := slotAddr(n, pos)
-		s.Poke64(a, key)
-		s.Poke64(a+8, val)
-		s.StoreLine(a)
-		s.Flush(a.Line(), mem.CachelineSize)
-		s.FenceOrdered()
 		s.Poke64(n+headerCount, uint64(cnt+1))
 		s.StoreLine(n)
 		s.Flush(n, mem.CachelineSize)
@@ -292,8 +376,14 @@ func (t *Tree) splitLeaf(w *Writer, n mem.Addr, path []pathEntry, key uint64) me
 	s.StoreLine(right)
 	s.Persist(right, NodeBytes)
 
-	s.Poke64(n+headerCount, uint64(half))
+	// FAST & FAIR split order: publish the sibling pointer first, then
+	// shrink the count. A crash between the two leaves transient
+	// duplicates (both halves hold the upper keys), which readers
+	// tolerate and Recover truncates; the reverse order would cut the
+	// count while the chain still bypasses the new node — losing the
+	// upper half.
 	s.Poke64(n+headerSibling, uint64(right))
+	s.Poke64(n+headerCount, uint64(half))
 	s.StoreLine(n)
 	s.Persist(n, mem.CachelineSize)
 
@@ -323,7 +413,10 @@ func (t *Tree) insertIntoParent(w *Writer, path []pathEntry, n mem.Addr, sep uin
 		s.StoreLine(slotAddr(newRoot, 0))
 		s.StoreLine(newRoot)
 		s.Persist(newRoot, 2*mem.CachelineSize)
-		t.root = newRoot
+		// The root switch is published through the superblock only after
+		// the new root is durable; a crash in between recovers the old
+		// root, whose sibling chain still reaches every key.
+		t.setRoot(s, newRoot)
 		t.height++
 		return
 	}
@@ -403,9 +496,13 @@ func (t *Tree) splitInternal(w *Writer, n mem.Addr, path []pathEntry, sep uint64
 		s.StoreLine(dst)
 	}
 	s.Poke64(right+headerCount, uint64(cnt-half))
+	s.Poke64(right+headerSibling, s.Peek64(n+headerSibling))
 	s.StoreLine(right)
 	s.Persist(right, NodeBytes)
 
+	// Same split order as leaves: sibling pointer before count, so the
+	// upper half stays reachable through the chain at every crash point.
+	s.Poke64(n+headerSibling, uint64(right))
 	s.Poke64(n+headerCount, uint64(half))
 	s.StoreLine(n)
 	s.Persist(n, mem.CachelineSize)
@@ -446,15 +543,18 @@ func (t *Tree) Delete(w *Writer, key uint64) bool {
 			s.Flush(dst.Line(), mem.CachelineSize)
 			s.FenceOrdered()
 		}
+		// Shrink the count first (atomic publish of the deletion), then
+		// zero the now-invisible slot; the reverse order would expose a
+		// zero key at the top of the node across a crash.
+		s.Poke64(leaf+headerCount, uint64(cnt-1))
+		s.StoreLine(leaf)
+		s.Flush(leaf, mem.CachelineSize)
+		s.FenceOrdered()
 		last := slotAddr(leaf, cnt-1)
 		s.Poke64(last, 0)
 		s.Poke64(last+8, 0)
 		s.StoreLine(last)
 		s.Flush(last.Line(), mem.CachelineSize)
-		s.FenceOrdered()
-		s.Poke64(leaf+headerCount, uint64(cnt-1))
-		s.StoreLine(leaf)
-		s.Flush(leaf, mem.CachelineSize)
 		s.FenceOrdered()
 
 	case RedoLog:
@@ -497,6 +597,11 @@ func (t *Tree) leftmostLeaf(s *pmem.Session) mem.Addr {
 // plane: keys sorted within every node, counts within bounds, leaf
 // sibling chain sorted globally, and internal separators bounding their
 // subtrees. It returns the first violation.
+//
+// FAST & FAIR tolerances apply: equal adjacent keys (transient
+// duplicates of an in-flight shift) are legal, and duplicated separator
+// entries skip revalidation. On a post-crash image run Recover first to
+// retire the transient states.
 func (t *Tree) Validate(s *pmem.Session) error {
 	if err := t.validateNode(s, t.root, 0, ^uint64(0)); err != nil {
 		return err
@@ -526,7 +631,7 @@ func (t *Tree) validateNode(s *pmem.Session, n mem.Addr, lo, hi uint64) error {
 	var prev uint64
 	for i := 0; i < cnt; i++ {
 		k := s.Peek64(slotAddr(n, i))
-		if i > 0 && k <= prev {
+		if i > 0 && k < prev {
 			return fmt.Errorf("btree: node %v keys unsorted at %d", n, i)
 		}
 		prev = k
@@ -541,11 +646,19 @@ func (t *Tree) validateNode(s *pmem.Session, n mem.Addr, lo, hi uint64) error {
 		return nil
 	}
 	childLo := lo
+	var prevSep uint64
+	var prevChild mem.Addr
 	for i := 0; i < cnt; i++ {
 		sep := s.Peek64(slotAddr(n, i))
 		child := mem.Addr(s.Peek64(slotAddr(n, i) + 8))
 		if !t.heap.Contains(child) {
 			return fmt.Errorf("btree: node %v child %d outside the heap", n, i)
+		}
+		if i > 0 && (child == prevChild || sep == prevSep) {
+			// Transient duplicate from an in-flight separator shift: the
+			// subtree was already validated under its other entry.
+			childLo, prevSep, prevChild = sep, sep, child
+			continue
 		}
 		childHi := sep
 		if childHi > 0 {
@@ -554,10 +667,53 @@ func (t *Tree) validateNode(s *pmem.Session, n mem.Addr, lo, hi uint64) error {
 		if childHi > hi {
 			childHi = hi
 		}
-		if err := t.validateNode(s, child, childLo, childHi); err != nil {
-			return err
+		if childLo <= childHi {
+			if err := t.validateNode(s, child, childLo, childHi); err != nil {
+				return err
+			}
 		}
-		childLo = sep
+		childLo, prevSep, prevChild = sep, sep, child
 	}
 	return nil
+}
+
+// Recover completes in-flight structural changes on a (possibly
+// post-crash) tree image: at every level it truncates transient
+// duplicates a crashed split left behind (a node whose upper keys
+// already moved to its sibling but whose count was not yet shrunk) and
+// drops trailing zero-key slots a crashed deletion left visible. It
+// returns the number of nodes repaired. Redo-log replay is separate —
+// run Writer.Recover first.
+func (t *Tree) Recover(s *pmem.Session) int {
+	repaired := 0
+	for level := t.root; level != 0; {
+		for n := level; n != 0; n = mem.Addr(s.Peek64(n + headerSibling)) {
+			cnt := t.count(s, n)
+			if cnt > Fanout {
+				cnt = Fanout
+			}
+			// Keys at or above the sibling's first key are the stale
+			// lower copies of a split that never shrank the count.
+			if sib := mem.Addr(s.Peek64(n + headerSibling)); sib != 0 && t.count(s, sib) > 0 {
+				sibFirst := s.Peek64(slotAddr(sib, 0))
+				for cnt > 0 && s.Peek64(slotAddr(n, cnt-1)) >= sibFirst {
+					cnt--
+				}
+			}
+			for cnt > 0 && s.Peek64(slotAddr(n, cnt-1)) == 0 && t.isLeaf(s, n) {
+				cnt--
+			}
+			if cnt != t.count(s, n) {
+				s.Poke64(n+headerCount, uint64(cnt))
+				s.StoreLine(n)
+				s.Persist(n, mem.CachelineSize)
+				repaired++
+			}
+		}
+		if t.isLeaf(s, level) {
+			break
+		}
+		level = mem.Addr(s.Peek64(slotAddr(level, 0) + 8))
+	}
+	return repaired
 }

@@ -55,8 +55,24 @@ func (t *Tree) NewWriter(s *pmem.Session, dram *pmem.Heap) *Writer {
 	return w
 }
 
+// OpenWriter rebinds a writer to its persistent log region and commit
+// flag (e.g. on a post-crash image, using the addresses from LogBase
+// and FlagAddr of the crashed writer). Call Recover on it to replay a
+// committed-but-unapplied transaction.
+func (t *Tree) OpenWriter(s *pmem.Session, logBase, flagAddr mem.Addr) *Writer {
+	return &Writer{t: t, s: s, logBase: logBase, flagAddr: flagAddr}
+}
+
 // Session returns the writer's session.
 func (w *Writer) Session() *pmem.Session { return w.s }
+
+// LogBase returns the writer's persistent redo-log address (0 in
+// InPlace mode).
+func (w *Writer) LogBase() mem.Addr { return w.logBase }
+
+// FlagAddr returns the writer's persistent commit-flag address (0 in
+// InPlace mode).
+func (w *Writer) FlagAddr() mem.Addr { return w.flagAddr }
 
 // beginTxn starts a new redo transaction.
 func (w *Writer) beginTxn() {
@@ -155,6 +171,9 @@ func applyUpdate(s *pmem.Session, u update) {
 // simulated crash. It returns the number of entries replayed (0 when
 // the flag shows no committed transaction).
 func (w *Writer) Recover() int {
+	if w.flagAddr == 0 {
+		return 0 // InPlace writers have no log
+	}
 	s := w.s
 	n := int(s.Peek64(w.flagAddr))
 	if n <= 0 || n > LogEntries {

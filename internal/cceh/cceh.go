@@ -56,6 +56,7 @@ const (
 // then 256 buckets of four (key, value) slots; key 0 marks a free slot.
 type Table struct {
 	heap    *pmem.Heap
+	super   mem.Addr // superblock cell holding the directory address
 	dir     mem.Addr // address of the directory block
 	dirSize int      // entries in the directory
 
@@ -70,6 +71,7 @@ func hashKey(k uint64) uint64 { return workload.SplitMix64(k ^ 0x5851F42D4C957F2
 // heap, persisting the initial structure.
 func New(s *pmem.Session, h *pmem.Heap, initialDepth uint) *Table {
 	t := &Table{heap: h}
+	t.super = h.Alloc(mem.CachelineSize, mem.CachelineSize)
 	n := 1 << initialDepth
 	t.dirSize = n
 	t.dir = h.Alloc(uint64(8*(1+n)), mem.CachelineSize)
@@ -79,8 +81,33 @@ func New(s *pmem.Session, h *pmem.Heap, initialDepth uint) *Table {
 		s.Store64(t.dirEntry(i), uint64(seg))
 	}
 	s.Persist(t.dir, 8*(1+n))
+	// Publish the directory in the superblock only after it is fully
+	// persistent, so a crash never exposes a half-built directory.
+	s.Store64(t.super, uint64(t.dir))
+	s.Persist(t.super, 8)
 	return t
 }
+
+// Open rebinds a table to its persistent state (e.g. on a post-crash
+// image) via the superblock cell returned by Super. Statistics counters
+// restart at zero. Run Recover before trusting the directory of an
+// image taken mid-split.
+func Open(s *pmem.Session, h *pmem.Heap, super mem.Addr) *Table {
+	t := &Table{heap: h, super: super}
+	t.dir = mem.Addr(s.Peek64(super))
+	t.dirSize = 1 << uint(s.Peek64(t.dir))
+	return t
+}
+
+// Super returns the table's superblock address (holds the directory
+// pointer), for reopening with Open.
+func (t *Table) Super() mem.Addr { return t.super }
+
+// Dir returns the current directory block address.
+func (t *Table) Dir() mem.Addr { return t.dir }
+
+// DirSize returns the number of directory entries.
+func (t *Table) DirSize() int { return t.dirSize }
 
 func (t *Table) dirEntry(i int) mem.Addr { return t.dir + mem.Addr(8*(1+i)) }
 
@@ -167,8 +194,11 @@ func (t *Table) Insert(s *pmem.Session, key, value uint64) error {
 					return nil
 				}
 				if existing == 0 {
-					s.Poke64(slotAddr, key)
+					// Value before key: the 8-byte key store is the atomic
+					// publish, so a crash never exposes a key with a torn
+					// (stale) value.
 					s.Poke64(slotAddr+8, value)
+					s.Poke64(slotAddr, key)
 					s.StoreLine(b)
 					s.Tag(TagPersist)
 					s.Flush(b, BucketBytes)
@@ -291,8 +321,8 @@ func (t *Table) placeDuringSplit(s *pmem.Session, seg mem.Addr, kh, key, value u
 		for slot := 0; slot < SlotsPerBucket; slot++ {
 			slotAddr := b + mem.Addr(16*slot)
 			if s.Peek64(slotAddr) == 0 {
-				s.Poke64(slotAddr, key)
 				s.Poke64(slotAddr+8, value)
+				s.Poke64(slotAddr, key)
 				s.StoreLine(b)
 				return true
 			}
@@ -309,8 +339,8 @@ func (t *Table) placeAnywhere(s *pmem.Session, seg mem.Addr, key, value uint64) 
 		for slot := 0; slot < SlotsPerBucket; slot++ {
 			slotAddr := ba + mem.Addr(16*slot)
 			if s.Peek64(slotAddr) == 0 {
-				s.Poke64(slotAddr, key)
 				s.Poke64(slotAddr+8, value)
+				s.Poke64(slotAddr, key)
 				s.StoreLine(ba)
 				return
 			}
@@ -332,6 +362,11 @@ func (t *Table) doubleDirectory(s *pmem.Session) {
 		s.Store64(newDir+mem.Addr(8*(1+2*i+1)), v)
 	}
 	s.Persist(newDir, 8*(1+newSize))
+	// Atomic publish: the superblock flips to the new directory only
+	// after the whole copy is persistent. A crash on either side of the
+	// flip sees a complete directory.
+	s.Store64(t.super, uint64(newDir))
+	s.Persist(t.super, 8)
 	t.dir = newDir
 	t.dirSize = newSize
 }
@@ -429,6 +464,65 @@ func (t *Table) Validate(s *pmem.Session) error {
 		i += span
 	}
 	return nil
+}
+
+// Recover repairs the directory after a crash taken mid-split. A split
+// persists both child segments before redirecting the directory
+// entries, and the old segment keeps all its keys, so any entry of a
+// torn redirect span can be safely reverted to the shallowest (oldest)
+// segment referenced inside that span — no data is lost, the children
+// merely leak until the next split. It returns the number of entries
+// rewritten and persists the repaired directory.
+func (t *Table) Recover(s *pmem.Session) int {
+	depth := uint(s.Peek64(t.dir))
+	repaired := 0
+	for pass := 0; pass <= t.dirSize; pass++ {
+		changed := false
+		for i := 0; i < t.dirSize; {
+			seg := mem.Addr(s.Peek64(t.dirEntry(i)))
+			local := uint(s.Peek64(seg))
+			if local > depth {
+				local = depth // defensive: never widen past one entry
+			}
+			span := 1 << (depth - local)
+			base := i &^ (span - 1)
+			// Find the shallowest segment covering this span; its span is
+			// the widest and subsumes the others.
+			minSeg, minLocal, conflict := seg, local, false
+			for j := base; j < base+span; j++ {
+				sj := mem.Addr(s.Peek64(t.dirEntry(j)))
+				if sj != seg {
+					conflict = true
+				}
+				lj := uint(s.Peek64(sj))
+				if lj < minLocal {
+					minSeg, minLocal = sj, lj
+				}
+			}
+			if !conflict {
+				i = base + span
+				continue
+			}
+			rspan := 1 << (depth - minLocal)
+			rbase := base &^ (rspan - 1)
+			for j := rbase; j < rbase+rspan; j++ {
+				if mem.Addr(s.Peek64(t.dirEntry(j))) != minSeg {
+					s.Poke64(t.dirEntry(j), uint64(minSeg))
+					repaired++
+				}
+			}
+			changed = true
+			i = rbase + rspan
+		}
+		if !changed {
+			break
+		}
+	}
+	if repaired > 0 {
+		s.Flush(t.dirEntry(0), 8*t.dirSize)
+		s.FenceOrdered()
+	}
+	return repaired
 }
 
 // Len counts stored keys through the data plane (no simulated time).

@@ -1,0 +1,166 @@
+package cceh_test
+
+import (
+	"fmt"
+	"testing"
+
+	"optanesim/internal/cceh"
+	"optanesim/internal/crash"
+	"optanesim/internal/mem"
+	"optanesim/internal/pmem"
+	"optanesim/internal/sim"
+)
+
+type crashOp struct {
+	del      bool
+	key, val uint64
+}
+
+func applyOps(ops []crashOp, n int) map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	for _, o := range ops[:n] {
+		if o.del {
+			delete(m, o.key)
+		} else {
+			m[o.key] = o.val
+		}
+	}
+	return m
+}
+
+// checkRecovery reopens the table from its superblock on a crash image,
+// repairs a torn directory redirect, validates the extendible-hashing
+// invariants, and verifies every committed key (with the usual
+// tolerance for the single op in flight at the cut).
+func checkRecovery(super mem.Addr, ops []crashOp) func(img *pmem.Heap, meta any) error {
+	return func(img *pmem.Heap, meta any) error {
+		n := meta.(int)
+		s := pmem.NewFreeSession(img)
+		tb := cceh.Open(s, img, super)
+		tb.Recover(s)
+		if err := tb.Validate(s); err != nil {
+			return err
+		}
+		expect := applyOps(ops, n)
+		var pending *crashOp
+		if n < len(ops) {
+			pending = &ops[n]
+		}
+		for k, v := range expect {
+			got, ok := tb.Lookup(s, k)
+			if pending != nil && pending.key == k {
+				switch {
+				case pending.del:
+					if ok && got != v {
+						return fmt.Errorf("key %d = %d mid-delete, want %d or absent", k, got, v)
+					}
+				default:
+					if ok && got != v && got != pending.val {
+						return fmt.Errorf("key %d = %d, want %d or pending %d", k, got, v, pending.val)
+					}
+					if !ok {
+						return fmt.Errorf("key %d lost mid-overwrite", k)
+					}
+				}
+				continue
+			}
+			if !ok {
+				return fmt.Errorf("committed key %d missing", k)
+			}
+			if got != v {
+				return fmt.Errorf("committed key %d = %d, want %d", k, got, v)
+			}
+		}
+		return nil
+	}
+}
+
+func runCrashMatrix(t *testing.T, heapBytes uint64, depth uint, ops []crashOp, opts crash.Options) (*cceh.Table, crash.Outcome) {
+	t.Helper()
+	h := pmem.NewPMHeap(heapBytes)
+	s := pmem.NewFreeSession(h)
+	tb := cceh.New(s, h, depth)
+
+	tk := crash.NewTracker(h)
+	done := 0
+	tk.SetMetaFunc(func() any { return done })
+	tk.Attach(s)
+
+	for _, o := range ops {
+		if o.del {
+			tb.Delete(s, o.key)
+		} else {
+			if err := tb.Insert(s, o.key, o.val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done++
+	}
+
+	o := tk.Check(opts, checkRecovery(tb.Super(), ops))
+	for i, v := range o.Violations {
+		if i >= 5 {
+			t.Errorf("... %d more violations", len(o.Violations)-5)
+			break
+		}
+		t.Errorf("violation: %v", v)
+	}
+	if t.Failed() {
+		t.Fatalf("crash matrix failed: %v", o)
+	}
+	return tb, o
+}
+
+// TestCrashMatrixSmall exhaustively enumerates a short single-segment
+// trace: fresh inserts, an overwrite, and a delete.
+func TestCrashMatrixSmall(t *testing.T) {
+	ops := []crashOp{
+		{key: 7, val: 70},
+		{key: 11, val: 110},
+		{key: 13, val: 130},
+		{key: 11, val: 111}, // overwrite
+		{key: 17, val: 170},
+		{del: true, key: 7},
+	}
+	_, o := runCrashMatrix(t, 1<<18, 0, ops, crash.Options{})
+	if o.States < 10 {
+		t.Fatalf("implausibly few states: %v", o)
+	}
+}
+
+// TestCrashMatrixSplit drives the table through at least one segment
+// split (torn directory redirects are the interesting states) with
+// sampled crash points.
+func TestCrashMatrixSplit(t *testing.T) {
+	var ops []crashOp
+	for i := 0; i < 900; i++ {
+		ops = append(ops, crashOp{key: uint64(i + 1), val: uint64(i)*3 + 1})
+	}
+	tb, _ := runCrashMatrix(t, 1<<21, 0, ops, crash.Options{MaxPoints: 60, MaxStatesPerPoint: 6, Seed: 5})
+	if tb.Splits() == 0 {
+		t.Fatal("trace never split a segment; crash coverage is trivial")
+	}
+}
+
+// TestCrashMatrixDeepTraceSeeded is the seeded-random deep-trace run:
+// mixed inserts, overwrites, and deletes over a keyspace that forces
+// directory growth.
+func TestCrashMatrixDeepTraceSeeded(t *testing.T) {
+	r := sim.NewRand(20226)
+	var ops []crashOp
+	for i := 0; i < 1500; i++ {
+		k := uint64(r.Intn(1200) + 1)
+		if r.Intn(8) == 0 {
+			ops = append(ops, crashOp{del: true, key: k})
+		} else {
+			ops = append(ops, crashOp{key: k, val: r.Uint64()%100000 + 1})
+		}
+	}
+	tb, o := runCrashMatrix(t, 1<<21, 0, ops, crash.Options{MaxPoints: 50, MaxStatesPerPoint: 6, Seed: 77})
+	if tb.Splits() == 0 {
+		t.Fatalf("deep trace never split: %v", o)
+	}
+	if o.Points < 30 {
+		t.Fatalf("expected sampled points, got %v", o)
+	}
+}

@@ -1,0 +1,100 @@
+package crash
+
+import (
+	"optanesim/internal/machine"
+	"optanesim/internal/mem"
+	"optanesim/internal/sim"
+)
+
+// CycleClassifier is the timed-plane view of persistence state: fed
+// with machine.PersistEvent, it can classify any PM cacheline at any
+// simulated cycle as clean, volatile (dirty in cache), accepted (in the
+// WPQ/ADR domain), or on media. Under eADR the cache hierarchy is in
+// the persistence domain, so a dirty line classifies as accepted rather
+// than volatile — the G1-vs-G2 distinction the tentpole models.
+type CycleClassifier struct {
+	eadr  bool
+	lines map[mem.Addr]*lineTimes
+}
+
+// lineTimes is one line's timed history: store instants and controller
+// writebacks (WPQ acceptance + media landing pairs).
+type lineTimes struct {
+	stores []sim.Cycles
+	wbs    []writeback
+}
+
+type writeback struct {
+	accept, landed sim.Cycles
+}
+
+// NewCycleClassifier returns a classifier; eadr selects G2 extended-ADR
+// semantics.
+func NewCycleClassifier(eadr bool) *CycleClassifier {
+	return &CycleClassifier{eadr: eadr, lines: make(map[mem.Addr]*lineTimes)}
+}
+
+// Attach subscribes the classifier to a system's persistence events.
+func (c *CycleClassifier) Attach(sys *machine.System) { sys.ObservePersist(c.Observe) }
+
+// Observe consumes one timed persistence event.
+func (c *CycleClassifier) Observe(e machine.PersistEvent) {
+	switch e.Kind {
+	case machine.PersistStore:
+		c.line(e.Line).stores = append(c.line(e.Line).stores, e.At)
+	case machine.PersistWrite:
+		lt := c.line(e.Line)
+		lt.wbs = append(lt.wbs, writeback{accept: e.At, landed: e.Landed})
+	case machine.PersistFence:
+		// Fences order flushes but carry no per-line content; the
+		// controller's acceptance times already encode the outcome.
+	}
+}
+
+func (c *CycleClassifier) line(line mem.Addr) *lineTimes {
+	lt := c.lines[line]
+	if lt == nil {
+		lt = &lineTimes{}
+		c.lines[line] = lt
+	}
+	return lt
+}
+
+// StateAt classifies line's persistence state at simulated cycle now.
+func (c *CycleClassifier) StateAt(line mem.Addr, now sim.Cycles) LineState {
+	lt := c.lines[line.Line()]
+	if lt == nil {
+		return StateClean
+	}
+	var lastStore sim.Cycles
+	haveStore := false
+	for _, s := range lt.stores {
+		if s <= now && (!haveStore || s > lastStore) {
+			lastStore, haveStore = s, true
+		}
+	}
+	var lastWB writeback
+	haveWB := false
+	for _, wb := range lt.wbs {
+		if wb.accept <= now && (!haveWB || wb.accept > lastWB.accept) {
+			lastWB, haveWB = wb, true
+		}
+	}
+	switch {
+	case !haveStore && !haveWB:
+		return StateClean
+	case haveStore && (!haveWB || lastStore > lastWB.accept):
+		// Dirty in cache, newer than anything the controller accepted.
+		if c.eadr {
+			return StateAccepted
+		}
+		return StateVolatile
+	case lastWB.landed <= now:
+		return StateMedia
+	default:
+		return StateAccepted
+	}
+}
+
+// Lines returns the number of PM cachelines with recorded history.
+func (c *CycleClassifier) Lines() int { return len(c.lines) }

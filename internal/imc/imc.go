@@ -105,6 +105,18 @@ type Controller struct {
 	hazards     map[mem.Addr]sim.Cycles
 	hazardPrune int
 	maxNow      sim.Cycles
+
+	// writeObs, when non-nil, is called for every write the controller
+	// absorbs with its WPQ acceptance and media landing times. Because
+	// clwb writebacks, nt-stores, and cache evictions all funnel through
+	// Write, an observer sees every transfer into the ADR domain.
+	writeObs func(addr mem.Addr, accept, landed sim.Cycles)
+}
+
+// SetWriteObserver registers fn to observe every write's acceptance and
+// landing times (nil detaches).
+func (c *Controller) SetWriteObserver(fn func(addr mem.Addr, accept, landed sim.Cycles)) {
+	c.writeObs = fn
 }
 
 // NewController builds a controller over one or more interleaved devices.
@@ -183,6 +195,9 @@ func (c *Controller) Write(now sim.Cycles, addr mem.Addr) (accept, landed sim.Cy
 	}
 	c.observe(accept)
 	c.maybePruneHazards()
+	if c.writeObs != nil {
+		c.writeObs(addr, accept, landed)
+	}
 	return accept, landed
 }
 

@@ -1,0 +1,132 @@
+package kvstore_test
+
+import (
+	"fmt"
+	"testing"
+
+	"optanesim/internal/crash"
+	"optanesim/internal/kvstore"
+	"optanesim/internal/mem"
+	"optanesim/internal/pmem"
+	"optanesim/internal/sim"
+)
+
+type put struct{ key, val uint64 }
+
+// checkRecovery rebuilds the index from the surviving log image and
+// verifies the durability contract of each mode. PerOp persists the
+// record before acknowledging, so every completed put must be
+// recoverable. Batched acknowledges up to BatchRecords-1 puts while
+// they are still volatile, so only puts up to the last completed batch
+// boundary are guaranteed; anything newer may surface with a later
+// value (an in-flight Sync that made it to media) but must never
+// surface corrupted.
+func checkRecovery(mode kvstore.AppendMode, logBase mem.Addr, logCap uint64, ops []put) func(img *pmem.Heap, meta any) error {
+	return func(img *pmem.Heap, meta any) error {
+		done := meta.(int)
+		durable := done
+		if mode == kvstore.Batched {
+			durable = done / kvstore.BatchRecords * kvstore.BatchRecords
+		}
+		s := pmem.NewFreeSession(img)
+		st, err := kvstore.RecoverIndex(s, img, mode, logBase, logCap, logCap)
+		if err != nil {
+			return err
+		}
+		expect := make(map[uint64]uint64)
+		for _, o := range ops[:durable] {
+			expect[o.key] = o.val
+		}
+		// Values a key may legitimately show instead of its durable one:
+		// puts acknowledged-but-volatile plus the op in flight at the cut.
+		later := make(map[uint64]map[uint64]bool)
+		end := done + 1
+		if end > len(ops) {
+			end = len(ops)
+		}
+		for _, o := range ops[durable:end] {
+			if later[o.key] == nil {
+				later[o.key] = make(map[uint64]bool)
+			}
+			later[o.key][o.val] = true
+		}
+		for k, v := range expect {
+			got, ok := st.Get(s, k)
+			if !ok {
+				return fmt.Errorf("durable key %d missing after recovery", k)
+			}
+			if got != v && !later[k][got] {
+				return fmt.Errorf("key %d = %d, want %d (or a later pending value)", k, got, v)
+			}
+		}
+		return nil
+	}
+}
+
+func runCrashMatrix(t *testing.T, mode kvstore.AppendMode, ops []put, opts crash.Options) crash.Outcome {
+	t.Helper()
+	h := pmem.NewPMHeap(1 << 22)
+	s := pmem.NewFreeSession(h)
+	st := kvstore.New(s, h, mode, 1<<16)
+
+	tk := crash.NewTracker(h)
+	done := 0
+	tk.SetMetaFunc(func() any { return done })
+	tk.Attach(s)
+
+	for _, o := range ops {
+		if err := st.Put(s, o.key, o.val); err != nil {
+			t.Fatal(err)
+		}
+		done++
+	}
+
+	o := tk.Check(opts, checkRecovery(mode, st.LogBase(), st.LogCap(), ops))
+	for i, v := range o.Violations {
+		if i >= 5 {
+			t.Errorf("... %d more violations", len(o.Violations)-5)
+			break
+		}
+		t.Errorf("violation: %v", v)
+	}
+	if t.Failed() {
+		t.Fatalf("crash matrix failed: %v", o)
+	}
+	return o
+}
+
+// TestCrashMatrixPerOp exhaustively checks a short per-op trace,
+// including an overwrite.
+func TestCrashMatrixPerOp(t *testing.T) {
+	ops := []put{{1, 10}, {2, 20}, {3, 30}, {2, 21}, {4, 40}}
+	o := runCrashMatrix(t, kvstore.PerOp, ops, crash.Options{})
+	if o.States < 5 {
+		t.Fatalf("implausibly few states: %v", o)
+	}
+}
+
+// TestCrashMatrixBatched crosses several batch boundaries so crash
+// points land before, inside, and after Sync bursts.
+func TestCrashMatrixBatched(t *testing.T) {
+	var ops []put
+	for i := 0; i < 3*kvstore.BatchRecords+2; i++ {
+		ops = append(ops, put{uint64(i%7 + 1), uint64(100 + i)})
+	}
+	runCrashMatrix(t, kvstore.Batched, ops, crash.Options{MaxPoints: 100, MaxStatesPerPoint: 8, Seed: 9})
+}
+
+// TestCrashMatrixDeepTraceSeeded is the seeded-random deep-trace run
+// over both modes.
+func TestCrashMatrixDeepTraceSeeded(t *testing.T) {
+	for _, mode := range []kvstore.AppendMode{kvstore.PerOp, kvstore.Batched} {
+		r := sim.NewRand(808)
+		var ops []put
+		for i := 0; i < 500; i++ {
+			ops = append(ops, put{r.Uint64()%300 + 1, r.Uint64()%100000 + 1})
+		}
+		o := runCrashMatrix(t, mode, ops, crash.Options{MaxPoints: 40, MaxStatesPerPoint: 5, Seed: 18})
+		if o.Points < 20 {
+			t.Fatalf("%v: expected sampled points, got %v", mode, o)
+		}
+	}
+}

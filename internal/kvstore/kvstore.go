@@ -90,6 +90,17 @@ func (st *Store) Puts() uint64 { return st.puts }
 // LogBytes returns the bytes of log consumed.
 func (st *Store) LogBytes() uint64 { return st.logOff }
 
+// LogBase returns the PM address of the value log, for RecoverIndex.
+func (st *Store) LogBase() mem.Addr { return st.logBase }
+
+// LogCap returns the capacity of the value log in bytes.
+func (st *Store) LogCap() uint64 { return st.logCap }
+
+// BatchRecords is the number of records coalesced per XPLine in
+// Batched mode; at most BatchRecords-1 acknowledged puts may still be
+// volatile at any instant.
+const BatchRecords = batchRecords
+
 // Put appends key/value to the log and indexes it. In Batched mode the
 // record may remain volatile until the batch fills or Sync is called.
 func (st *Store) Put(s *pmem.Session, key, value uint64) error {

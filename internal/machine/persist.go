@@ -1,0 +1,57 @@
+package machine
+
+import (
+	"optanesim/internal/mem"
+	"optanesim/internal/sim"
+)
+
+// PersistKind enumerates the timed persistence events a System reports.
+type PersistKind uint8
+
+// The persistence event kinds.
+const (
+	// PersistStore: a thread dirtied a PM cacheline at At (the content
+	// now sits in the volatile cache hierarchy).
+	PersistStore PersistKind = iota
+	// PersistWrite: the PM controller accepted a cacheline write into
+	// its WPQ at At — the ADR boundary — and the write lands on the
+	// device at Landed. Clwb writebacks, nt-stores, and cache evictions
+	// all produce PersistWrite events.
+	PersistWrite
+	// PersistFence: a thread's persistence fence (sfence/mfence) retired
+	// at At, guaranteeing WPQ acceptance of its prior flushes.
+	PersistFence
+)
+
+// PersistEvent is one timed persistence event. Thread is the issuing
+// thread's ID, or -1 for controller-side events (a cache eviction is no
+// longer attributable to a thread once the line has left the core).
+type PersistEvent struct {
+	Kind   PersistKind
+	Thread int
+	Line   mem.Addr
+	At     sim.Cycles
+	Landed sim.Cycles
+}
+
+// ObservePersist registers fn to receive the system's timed persistence
+// events: PM stores and fences from every thread, and WPQ acceptances
+// from the PM controller. Pass nil to detach. The crash package's
+// CycleClassifier is the canonical consumer.
+func (s *System) ObservePersist(fn func(PersistEvent)) {
+	s.persistFn = fn
+	if fn == nil {
+		s.pmc.SetWriteObserver(nil)
+		return
+	}
+	s.pmc.SetWriteObserver(func(addr mem.Addr, accept, landed sim.Cycles) {
+		fn(PersistEvent{Kind: PersistWrite, Thread: -1, Line: addr.Line(), At: accept, Landed: landed})
+	})
+}
+
+// emitPersist forwards a thread-side event to the registered observer.
+func (s *System) emitPersist(e PersistEvent) {
+	if s.persistFn != nil {
+		s.persistFn(e)
+	}
+}

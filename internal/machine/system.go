@@ -90,6 +90,10 @@ type System struct {
 	nextTID int
 	running bool
 	done    chan struct{}
+
+	// persistFn, when non-nil, receives timed persistence events (see
+	// ObservePersist).
+	persistFn func(PersistEvent)
 }
 
 // NewSystem builds a testbed from cfg.

@@ -314,7 +314,12 @@ func (t *Thread) issuePrefetches(addr mem.Addr, miss, confirmed bool, at sim.Cyc
 func (t *Thread) Store(addr mem.Addr) {
 	t.schedule()
 	start := t.now
-	defer func() { t.record(mem.OpStore, addr, start) }()
+	defer func() {
+		t.record(mem.OpStore, addr, start)
+		if addr.IsPM() {
+			t.sys.emitPersist(PersistEvent{Kind: PersistStore, Thread: t.id, Line: addr.Line(), At: t.now})
+		}
+	}()
 	cpu := t.cpu()
 	t.sys.demand(addr).DemandWriteBytes += mem.CachelineSize
 	la := addr.Line()
@@ -486,6 +491,7 @@ func (t *Thread) SFence() {
 	t.fenceWait()
 	t.lazyFlushed = t.lazyFlushed[:0]
 	t.record(mem.OpSFence, 0, start)
+	t.sys.emitPersist(PersistEvent{Kind: PersistFence, Thread: t.id, At: t.now})
 }
 
 // MFence is SFence plus load ordering: subsequent loads may not issue
@@ -495,7 +501,10 @@ func (t *Thread) SFence() {
 func (t *Thread) MFence() {
 	t.schedule()
 	start := t.now
-	defer func() { t.record(mem.OpMFence, 0, start) }()
+	defer func() {
+		t.record(mem.OpMFence, 0, start)
+		t.sys.emitPersist(PersistEvent{Kind: PersistFence, Thread: t.id, At: t.now})
+	}()
 	t.fenceWait()
 	t.loadBarrier = t.now
 	for _, la := range t.lazyFlushed {

@@ -88,3 +88,26 @@ func (h *Heap) Reset() {
 	}
 	h.off = 0
 }
+
+// Snapshot returns a copy of the heap's backing bytes (the full data
+// plane at this instant). The crash subsystem uses snapshots as the
+// durable baseline images it patches survivable writes into.
+func (h *Heap) Snapshot() []byte {
+	return append([]byte(nil), h.buf...)
+}
+
+// CloneWith builds a heap at the same base and name whose contents are a
+// copy of data (which must be exactly the heap's size) and whose
+// allocation pointer matches the current heap — so recovery code running
+// on the clone can allocate without overlapping live regions.
+func (h *Heap) CloneWith(data []byte) *Heap {
+	if uint64(len(data)) != uint64(len(h.buf)) {
+		panic(fmt.Sprintf("pmem: CloneWith size %d != heap size %d", len(data), len(h.buf)))
+	}
+	return &Heap{
+		name: h.name,
+		base: h.base,
+		buf:  append([]byte(nil), data...),
+		off:  h.off,
+	}
+}

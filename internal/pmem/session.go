@@ -8,12 +8,56 @@ import (
 	"optanesim/internal/sim"
 )
 
+// Observer receives the session's persistence-relevant events: stores
+// (the data plane changed and the cacheline is now dirty), non-temporal
+// stores and cacheline flushes (a line's content was posted toward the
+// ADR domain), and fences (every previously posted flush is now
+// guaranteed accepted). The crash subsystem implements Observer to track
+// which post-power-cut states are survivable.
+//
+// Observers fire for free sessions too: persistence SEMANTICS exist even
+// when no simulated time is charged, which is what lets the crash
+// harness enumerate states without paying for a timing plane.
+type Observer interface {
+	// ObserveStore fires after a cacheable store dirtied line (the new
+	// content is already visible in the heap).
+	ObserveStore(line mem.Addr)
+	// ObserveNTStore fires after a non-temporal store of line was posted
+	// to the write pending queue.
+	ObserveNTStore(line mem.Addr)
+	// ObserveFlush fires when a clwb of line is issued.
+	ObserveFlush(line mem.Addr)
+	// ObserveFence fires when an sfence/mfence retires: all flushes and
+	// nt-stores issued before it are now in the ADR domain.
+	ObserveFence()
+}
+
 // Session couples a simulated thread (the timing plane) with one or more
 // heaps (the data plane). Data-structure code uses a Session for every
 // access so that functional behaviour and simulated cost stay in sync.
 type Session struct {
 	T     *machine.Thread
 	heaps []*Heap
+	obs   Observer
+}
+
+// SetObserver attaches a persistence observer (nil detaches). The
+// observer sees events in program order for this session.
+func (s *Session) SetObserver(o Observer) { s.obs = o }
+
+func (s *Session) noteStore(addr mem.Addr) {
+	if s.obs != nil {
+		s.obs.ObserveStore(addr.Line())
+	}
+}
+
+func (s *Session) noteStoreRange(addr mem.Addr, n int) {
+	if s.obs == nil {
+		return
+	}
+	for line := addr.Line(); line < addr+mem.Addr(n); line += mem.CachelineSize {
+		s.obs.ObserveStore(line)
+	}
 }
 
 // NewSession builds a session over the given heaps.
@@ -31,7 +75,7 @@ func NewFreeSession(heaps ...*Heap) *Session {
 // WithThread returns a session over the same heaps bound to another
 // thread (e.g. a helper prefetch thread).
 func (s *Session) WithThread(t *machine.Thread) *Session {
-	return &Session{T: t, heaps: s.heaps}
+	return &Session{T: t, heaps: s.heaps, obs: s.obs}
 }
 
 // heapFor locates the heap containing addr.
@@ -60,6 +104,7 @@ func (s *Session) Store64(addr mem.Addr, v uint64) {
 		s.T.Store(addr)
 	}
 	s.heapFor(addr).PutUint64(addr, v)
+	s.noteStore(addr)
 }
 
 // Peek64 reads the data plane without charging simulated time (for
@@ -68,9 +113,12 @@ func (s *Session) Peek64(addr mem.Addr) uint64 {
 	return s.heapFor(addr).Uint64(addr)
 }
 
-// Poke64 writes the data plane without charging simulated time.
+// Poke64 writes the data plane without charging simulated time. The
+// write is still a store as far as persistence tracking is concerned: it
+// lands in the (volatile) cache and survives only if written back.
 func (s *Session) Poke64(addr mem.Addr, v uint64) {
 	s.heapFor(addr).PutUint64(addr, v)
+	s.noteStore(addr)
 }
 
 // LoadRange charges loads for every cacheline overlapping [addr,addr+n)
@@ -93,6 +141,7 @@ func (s *Session) StoreRange(addr mem.Addr, data []byte) {
 		}
 	}
 	copy(s.heapFor(addr).Bytes(addr, len(data)), data)
+	s.noteStoreRange(addr, len(data))
 }
 
 // NTStore64 writes a uint64 with a non-temporal store.
@@ -101,26 +150,28 @@ func (s *Session) NTStore64(addr mem.Addr, v uint64) {
 		s.T.NTStore(addr)
 	}
 	s.heapFor(addr).PutUint64(addr, v)
+	if s.obs != nil {
+		s.obs.ObserveNTStore(addr.Line())
+	}
 }
 
 // Flush issues clwb for every cacheline overlapping [addr, addr+n).
 func (s *Session) Flush(addr mem.Addr, n int) {
-	if s.T == nil {
-		return
-	}
 	for line := addr.Line(); line < addr+mem.Addr(n); line += mem.CachelineSize {
-		s.T.CLWB(line)
+		if s.obs != nil {
+			s.obs.ObserveFlush(line)
+		}
+		if s.T != nil {
+			s.T.CLWB(line)
+		}
 	}
 }
 
 // Persist is the canonical persistence barrier: clwb over the range
 // followed by sfence.
 func (s *Session) Persist(addr mem.Addr, n int) {
-	if s.T == nil {
-		return
-	}
 	s.Flush(addr, n)
-	s.T.SFence()
+	s.Fence()
 }
 
 // Tag sets the timing thread's attribution tag (no-op for free
@@ -138,15 +189,22 @@ func (s *Session) LoadLine(addr mem.Addr) {
 	}
 }
 
-// StoreLine charges one cacheline store without touching data.
+// StoreLine charges one cacheline store without touching data. For
+// persistence tracking it still dirties the line (the usual pattern is
+// Poke64 for the data plane followed by StoreLine for the timing plane,
+// so the line content is current when the observer samples it).
 func (s *Session) StoreLine(addr mem.Addr) {
 	if s.T != nil {
 		s.T.Store(addr)
 	}
+	s.noteStore(addr)
 }
 
 // Fence charges an sfence.
 func (s *Session) Fence() {
+	if s.obs != nil {
+		s.obs.ObserveFence()
+	}
 	if s.T != nil {
 		s.T.SFence()
 	}
@@ -171,6 +229,9 @@ func (s *Session) Compute(n sim.Cycles) {
 // orders subsequent loads (used by workloads whose recovery logic
 // requires load ordering, e.g. the §4.2 B+-tree baseline).
 func (s *Session) FenceOrdered() {
+	if s.obs != nil {
+		s.obs.ObserveFence()
+	}
 	if s.T != nil {
 		s.T.MFence()
 	}

@@ -1,0 +1,146 @@
+package radix_test
+
+import (
+	"fmt"
+	"testing"
+
+	"optanesim/internal/crash"
+	"optanesim/internal/mem"
+	"optanesim/internal/pmem"
+	"optanesim/internal/radix"
+	"optanesim/internal/sim"
+)
+
+type crashOp struct {
+	del      bool
+	key, val uint64
+}
+
+func applyOps(ops []crashOp, n int) map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	for _, o := range ops[:n] {
+		if o.del {
+			delete(m, o.key)
+		} else {
+			m[o.key] = o.val
+		}
+	}
+	return m
+}
+
+// checkRecovery reopens the tree on a crash image and verifies it:
+// WORT-style atomic pointer publication means no repair pass exists —
+// every surviving image must already validate and serve every
+// committed key.
+func checkRecovery(root mem.Addr, ops []crashOp) func(img *pmem.Heap, meta any) error {
+	return func(img *pmem.Heap, meta any) error {
+		n := meta.(int)
+		s := pmem.NewFreeSession(img)
+		tr := radix.Open(img, root)
+		if err := tr.Validate(s); err != nil {
+			return err
+		}
+		expect := applyOps(ops, n)
+		var pending *crashOp
+		if n < len(ops) {
+			pending = &ops[n]
+		}
+		for k, v := range expect {
+			got, ok := tr.Get(s, k)
+			if pending != nil && pending.key == k {
+				switch {
+				case pending.del:
+					if ok && got != v {
+						return fmt.Errorf("key %d = %d mid-delete, want %d or absent", k, got, v)
+					}
+				default:
+					if !ok {
+						return fmt.Errorf("key %d lost mid-overwrite", k)
+					}
+					if got != v && got != pending.val {
+						return fmt.Errorf("key %d = %d, want %d or pending %d", k, got, v, pending.val)
+					}
+				}
+				continue
+			}
+			if !ok {
+				return fmt.Errorf("committed key %d missing", k)
+			}
+			if got != v {
+				return fmt.Errorf("committed key %d = %d, want %d", k, got, v)
+			}
+		}
+		return nil
+	}
+}
+
+func runCrashMatrix(t *testing.T, heapBytes uint64, ops []crashOp, opts crash.Options) crash.Outcome {
+	t.Helper()
+	h := pmem.NewPMHeap(heapBytes)
+	s := pmem.NewFreeSession(h)
+	tr := radix.New(s, h)
+
+	tk := crash.NewTracker(h)
+	done := 0
+	tk.SetMetaFunc(func() any { return done })
+	tk.Attach(s)
+
+	for _, o := range ops {
+		if o.del {
+			tr.Delete(s, o.key)
+		} else {
+			if err := tr.Insert(s, o.key, o.val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done++
+	}
+
+	o := tk.Check(opts, checkRecovery(tr.Root(), ops))
+	for i, v := range o.Violations {
+		if i >= 5 {
+			t.Errorf("... %d more violations", len(o.Violations)-5)
+			break
+		}
+		t.Errorf("violation: %v", v)
+	}
+	if t.Failed() {
+		t.Fatalf("crash matrix failed: %v", o)
+	}
+	return o
+}
+
+// TestCrashMatrixSmall exhaustively enumerates a short trace that
+// exercises every structural path: empty-slot install, divergence-chain
+// build (keys sharing a long prefix), overwrite, and delete.
+func TestCrashMatrixSmall(t *testing.T) {
+	ops := []crashOp{
+		{key: 0x1111000000000000, val: 1},
+		{key: 0x1111000000000001, val: 2}, // long shared prefix: deep chain
+		{key: 0x2222000000000000, val: 3},
+		{key: 0x1111000000000000, val: 4}, // overwrite
+		{del: true, key: 0x2222000000000000},
+	}
+	o := runCrashMatrix(t, 1<<20, ops, crash.Options{})
+	if o.States < 10 {
+		t.Fatalf("implausibly few states: %v", o)
+	}
+}
+
+// TestCrashMatrixDeepTraceSeeded is the seeded-random deep-trace run.
+func TestCrashMatrixDeepTraceSeeded(t *testing.T) {
+	r := sim.NewRand(555)
+	var ops []crashOp
+	for i := 0; i < 400; i++ {
+		k := r.Uint64()%500 + 1
+		if r.Intn(6) == 0 {
+			ops = append(ops, crashOp{del: true, key: k})
+		} else {
+			ops = append(ops, crashOp{key: k, val: r.Uint64()%100000 + 1})
+		}
+	}
+	o := runCrashMatrix(t, 1<<22, ops, crash.Options{MaxPoints: 60, MaxStatesPerPoint: 6, Seed: 31})
+	if o.Points < 30 {
+		t.Fatalf("expected sampled points, got %v", o)
+	}
+}

@@ -45,6 +45,18 @@ func New(s *pmem.Session, h *pmem.Heap) *Tree {
 	return t
 }
 
+// Open rebinds a tree to an existing root node (e.g. on a post-crash
+// image). Every mutation publishes with a single atomic pointer store
+// behind a persistence barrier, so no repair pass is needed — any
+// surviving image is a valid tree. Allocation statistics restart at
+// zero.
+func Open(h *pmem.Heap, root mem.Addr) *Tree {
+	return &Tree{heap: h, root: root}
+}
+
+// Root returns the root node address, for reopening with Open.
+func (t *Tree) Root() mem.Addr { return t.root }
+
 // Nodes returns the number of internal nodes allocated.
 func (t *Tree) Nodes() int { return t.nodes }
 

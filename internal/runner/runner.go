@@ -8,9 +8,12 @@
 package runner
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,10 +41,47 @@ type Result struct {
 // Elapsed reports how long the task ran.
 func (r Result) Elapsed() time.Duration { return r.End.Sub(r.Start) }
 
+// Config controls a pool run beyond the task list itself.
+type Config struct {
+	// Workers bounds concurrency; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Timeout is the per-task deadline; 0 means none. A task that
+	// overruns is reported with a *TimeoutError. Its goroutine cannot be
+	// killed and is abandoned — acceptable here because every bench unit
+	// owns its simulator instances and shares nothing.
+	Timeout time.Duration
+	// KeepGoing schedules every task even after one fails. When false,
+	// tasks not yet started when a failure lands are skipped and
+	// reported with ErrCanceled.
+	KeepGoing bool
+}
+
+// ErrCanceled marks tasks skipped because an earlier task failed and
+// the run was not configured to keep going.
+var ErrCanceled = errors.New("runner: canceled after earlier failure")
+
+// TimeoutError reports a task that exceeded the per-task deadline.
+type TimeoutError struct {
+	ID    string
+	Limit time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("runner: task %q exceeded its %v deadline", e.ID, e.Limit)
+}
+
 // Run executes tasks on at most workers concurrent goroutines and
-// returns one Result per task, in task order. workers <= 0 selects
-// GOMAXPROCS. Run blocks until every task has finished.
+// returns one Result per task, in task order. Run blocks until every
+// task has finished and never stops early — it is RunConfig with
+// KeepGoing set and no deadline.
 func Run(tasks []Task, workers int) []Result {
+	return RunConfig(tasks, Config{Workers: workers, KeepGoing: true})
+}
+
+// RunConfig executes tasks on a bounded pool under cfg and returns one
+// Result per task, in task order.
+func RunConfig(tasks []Task, cfg Config) []Result {
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -53,6 +93,7 @@ func Run(tasks []Task, workers int) []Result {
 		return results
 	}
 
+	var failed atomic.Bool
 	// Workers pull indices from a channel and write to disjoint slots
 	// of results, so no locking is needed on the result slice itself.
 	idx := make(chan int)
@@ -62,7 +103,15 @@ func Run(tasks []Task, workers int) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = run(tasks[i])
+				if !cfg.KeepGoing && failed.Load() {
+					now := time.Now()
+					results[i] = Result{ID: tasks[i].ID, Err: ErrCanceled, Start: now, End: now}
+					continue
+				}
+				results[i] = run(tasks[i], cfg.Timeout)
+				if results[i].Err != nil {
+					failed.Store(true)
+				}
 			}
 		}()
 	}
@@ -74,15 +123,38 @@ func Run(tasks []Task, workers int) []Result {
 	return results
 }
 
-// run executes one task, converting a panic into an error so a buggy
-// experiment cannot take down the whole sweep.
-func run(t Task) (res Result) {
+// run executes one task under an optional deadline.
+func run(t Task, timeout time.Duration) Result {
+	if timeout <= 0 {
+		return runTask(t)
+	}
+	done := make(chan Result, 1)
+	go func() { done <- runTask(t) }()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		return res
+	case now := <-timer.C:
+		return Result{
+			ID:    t.ID,
+			Err:   &TimeoutError{ID: t.ID, Limit: timeout},
+			Start: now.Add(-timeout),
+			End:   now,
+		}
+	}
+}
+
+// runTask executes one task, converting a panic into an error (with the
+// goroutine's stack) so a buggy experiment cannot take down the whole
+// sweep.
+func runTask(t Task) (res Result) {
 	res.ID = t.ID
 	res.Start = time.Now()
 	defer func() {
 		res.End = time.Now()
 		if p := recover(); p != nil {
-			res.Err = fmt.Errorf("runner: task %q panicked: %v", t.ID, p)
+			res.Err = fmt.Errorf("runner: task %q panicked: %v\n%s", t.ID, p, debug.Stack())
 		}
 	}()
 	res.Value, res.Err = t.Run()

@@ -3,6 +3,7 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -96,6 +97,76 @@ func TestRunPanicBecomesError(t *testing.T) {
 	}
 	if results[3].Err != nil || results[3].Value != 7 {
 		t.Errorf("also-ok task: %+v", results[3])
+	}
+}
+
+// TestPanicErrorIncludesStack checks that a panicking task's error
+// carries the goroutine stack, so a crashed unit is diagnosable from
+// the failure summary alone.
+func TestPanicErrorIncludesStack(t *testing.T) {
+	results := Run([]Task{{ID: "p", Run: func() (any, error) { panic("kaboom") }}}, 1)
+	if results[0].Err == nil {
+		t.Fatal("want error")
+	}
+	msg := results[0].Err.Error()
+	if !strings.Contains(msg, "kaboom") || !strings.Contains(msg, "goroutine") {
+		t.Errorf("panic error lacks payload or stack:\n%s", msg)
+	}
+}
+
+// TestRunConfigTimeout checks that an overrunning task is reported with
+// a structured TimeoutError while fast siblings complete normally.
+func TestRunConfigTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	tasks := []Task{
+		{ID: "fast", Run: func() (any, error) { return 1, nil }},
+		{ID: "hangs", Run: func() (any, error) { <-block; return 2, nil }},
+		{ID: "fast2", Run: func() (any, error) { return 3, nil }},
+	}
+	results := RunConfig(tasks, Config{Workers: 3, Timeout: 20 * time.Millisecond, KeepGoing: true})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("fast tasks failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	var te *TimeoutError
+	if !errors.As(results[1].Err, &te) {
+		t.Fatalf("hanging task: Err = %v, want TimeoutError", results[1].Err)
+	}
+	if te.ID != "hangs" || te.Limit != 20*time.Millisecond {
+		t.Errorf("TimeoutError = %+v", te)
+	}
+}
+
+// TestRunConfigFailFast checks that without KeepGoing, tasks not yet
+// started when a failure lands are skipped with ErrCanceled.
+func TestRunConfigFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	const n = 40
+	tasks := make([]Task, n)
+	tasks[0] = Task{ID: "fails", Run: func() (any, error) {
+		time.Sleep(5 * time.Millisecond)
+		return nil, boom
+	}}
+	for i := 1; i < n; i++ {
+		tasks[i] = Task{ID: fmt.Sprintf("t%d", i), Run: func() (any, error) {
+			time.Sleep(time.Millisecond)
+			return nil, nil
+		}}
+	}
+	results := RunConfig(tasks, Config{Workers: 2})
+	if !errors.Is(results[0].Err, boom) {
+		t.Fatalf("results[0].Err = %v", results[0].Err)
+	}
+	canceled := 0
+	for _, r := range results[1:] {
+		if errors.Is(r.Err, ErrCanceled) {
+			canceled++
+		} else if r.Err != nil {
+			t.Errorf("task %s: unexpected error %v", r.ID, r.Err)
+		}
+	}
+	if canceled == 0 {
+		t.Error("fail-fast run canceled nothing; expected later tasks to be skipped")
 	}
 }
 
