@@ -1,0 +1,109 @@
+// Command benchjson runs the simulator-core microbenchmarks
+// (internal/simbench) via testing.Benchmark and writes the results as a
+// single JSON document — the BENCH_simcore.json artifact CI uploads on
+// every run, so the simulator's host throughput has a recorded
+// trajectory across commits.
+//
+// Usage:
+//
+//	benchjson [-benchtime D] [-o file]
+//
+// The output records, per benchmark: ns/op, B/op, allocs/op, and
+// ops/sec (1e9 / ns-per-op), plus the Go version and GOMAXPROCS the
+// numbers were taken under.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"optanesim/internal/simbench"
+)
+
+var (
+	benchTime = flag.Duration("benchtime", time.Second, "minimum measurement time per benchmark")
+	outPath   = flag.String("o", "BENCH_simcore.json", "output file (- for stdout)")
+)
+
+// result is one benchmark's measurement in the emitted document.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+type document struct {
+	GoVersion  string   `json:"go_version"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	BenchTime  string   `json:"benchtime"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	// Register the testing package's flags (test.benchtime et al.)
+	// before parsing: testing.Benchmark reads them, and outside a test
+	// binary they only exist after testing.Init.
+	testing.Init()
+	flag.Parse()
+
+	if err := flag.Set("test.benchtime", benchTime.String()); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"SimCoreLoad", simbench.Load},
+		{"SimCoreStore", simbench.Store},
+		{"SimCoreFlushFence", simbench.FlushFence},
+		{"SimCoreMultiThread", simbench.MultiThread},
+	}
+
+	doc := document{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		BenchTime:  benchTime.String(),
+	}
+	for _, bm := range benches {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			bm.fn(b)
+		})
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		doc.Results = append(doc.Results, result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     ns,
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			OpsPerSec:   1e9 / ns,
+		})
+		fmt.Fprintf(os.Stderr, "%-22s %12d iterations  %10.2f ns/op  %6d B/op  %4d allocs/op\n",
+			bm.name, r.N, ns, r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *outPath == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

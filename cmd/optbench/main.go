@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] <experiment>...
+//	optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going]
+//	         [-cpuprofile f] [-memprofile f] <experiment>...
 //
 // where experiment is one of: fig2 fig3 fig4 fig6 fig7 fig8 table1
 // fig10 fig12 fig13 fig14 ablation bandwidth ycsb sec33 latency indexes
@@ -25,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,12 +35,14 @@ import (
 )
 
 var (
-	quick     = flag.Bool("quick", false, "run at reduced scale")
-	doPlots   = flag.Bool("plot", false, "also render ASCII charts of the figures")
-	jobs      = flag.Int("j", runtime.GOMAXPROCS(0), "number of experiment units to run concurrently")
-	jsonDir   = flag.String("json", "", "also write structured results as <dir>/<experiment>.jsonl")
-	timeout   = flag.Duration("timeout", 0, "per-unit deadline (0 = none), e.g. 5m")
-	keepGoing = flag.Bool("keep-going", false, "run every unit even after one fails")
+	quick      = flag.Bool("quick", false, "run at reduced scale")
+	doPlots    = flag.Bool("plot", false, "also render ASCII charts of the figures")
+	jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "number of experiment units to run concurrently")
+	jsonDir    = flag.String("json", "", "also write structured results as <dir>/<experiment>.jsonl")
+	timeout    = flag.Duration("timeout", 0, "per-unit deadline (0 = none), e.g. 5m")
+	keepGoing  = flag.Bool("keep-going", false, "run every unit even after one fails")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 )
 
 func main() {
@@ -69,6 +73,8 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	stopProfiles := startProfiles()
+	defer stopProfiles()
 
 	// Flatten every selected experiment's units into one task list so
 	// the pool stays busy across experiment boundaries, remembering
@@ -139,7 +145,49 @@ func main() {
 		if !*keepGoing {
 			fmt.Fprintln(os.Stderr, "optbench: (units not yet started were canceled; use -keep-going to run all)")
 		}
+		stopProfiles() // os.Exit skips defers
 		os.Exit(1)
+	}
+}
+
+// startProfiles begins -cpuprofile collection and returns an idempotent
+// stop function that finalizes both it and the -memprofile snapshot.
+func startProfiles() func() {
+	var cpuOut *os.File
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "optbench: %v\n", err)
+			os.Exit(1)
+		}
+		cpuOut = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			cpuOut.Close()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "optbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "optbench: %v\n", err)
+			}
+		}
 	}
 }
 
@@ -161,6 +209,6 @@ func writeJSONL(dir, name string, results []bench.UnitResult) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] <experiment>...\nexperiments: %v all\n",
+	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] [-cpuprofile f] [-memprofile f] <experiment>...\nexperiments: %v all\n",
 		bench.ExperimentNames())
 }

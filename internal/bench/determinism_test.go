@@ -11,21 +11,26 @@ import (
 )
 
 // determinismUnits is the representative subset the determinism
-// regression runs: all of fig2 (pure read-amplification sweeps), one
-// fig8 panel (pointer chasing + persists; the whole figure at -quick
-// scale costs minutes on one core), and both ycsb units (CCEH with
-// Zipfian mixes and reservoir-sampled latency distributions — the
-// experiment most tempted to hide nondeterminism).
+// regression runs: all of fig2 (pure read-amplification sweeps), all of
+// fig7 (store + flush bandwidth, the path the simulator-core fast paths
+// rewrote), one fig8 panel (pointer chasing + persists; the whole
+// figure at -quick scale costs minutes on one core), all of sec33
+// (read-after-persist latency, sensitive to cache flush bookkeeping),
+// and both ycsb units (CCEH with Zipfian mixes and reservoir-sampled
+// latency distributions — the experiment most tempted to hide
+// nondeterminism).
 func determinismUnits(t *testing.T) []bench.Unit {
 	t.Helper()
 	o := bench.Options{Quick: true}
 	var units []bench.Unit
 	keep := map[string]func(bench.Unit) bool{
-		"fig2": func(bench.Unit) bool { return true },
-		"fig8": func(u bench.Unit) bool { return u.Name == "G1 strict" },
-		"ycsb": func(bench.Unit) bool { return true },
+		"fig2":  func(bench.Unit) bool { return true },
+		"fig7":  func(bench.Unit) bool { return true },
+		"fig8":  func(u bench.Unit) bool { return u.Name == "G1 strict" },
+		"sec33": func(bench.Unit) bool { return true },
+		"ycsb":  func(bench.Unit) bool { return true },
 	}
-	for _, name := range []string{"fig2", "fig8", "ycsb"} {
+	for _, name := range []string{"fig2", "fig7", "fig8", "sec33", "ycsb"} {
 		exp, ok := bench.ExperimentUnits(name, o)
 		if !ok {
 			t.Fatalf("experiment %q not registered", name)

@@ -7,6 +7,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
@@ -25,27 +26,33 @@ type Config struct {
 }
 
 // Line is one cacheline frame. Exported fields are manipulated by the
-// machine layer (flush bookkeeping, prefetch confirmation).
+// machine layer (flush bookkeeping, prefetch confirmation). The layout
+// is hot-first and padded to 64 bytes: the fields a predicted load/store
+// hit touches (ReadyAt, lastUse, the flag bytes) share one host
+// cacheline, and padding keeps every frame line-aligned within the ways
+// array.
 type Line struct {
-	addr  mem.Addr // line-aligned tag; meaningful only when valid
-	valid bool
-	// Dirty marks modified data that must be written back on eviction.
-	Dirty bool
-	// Prefetched marks a line installed by a prefetcher and not yet
-	// demanded; the first demand hit "confirms" it.
-	Prefetched bool
 	// ReadyAt is when the fill completes; demand hits before this stall.
 	ReadyAt sim.Cycles
-	// Flushed marks a pending G1 clwb on this line: the line remains
-	// readable by the flushing thread for a few more instructions (the
-	// pipeline depth of the invalidation, §3.5) and is then evicted.
-	Flushed bool
+	lastUse uint64
+	addr    mem.Addr // line-aligned tag; meaningful only when valid
 	// FlushedSeq is the flushing thread's op index at clwb time and
 	// FlushedBy its thread id; together they implement the op-distance
 	// bypass window.
 	FlushedSeq uint64
 	FlushedBy  int
-	lastUse    uint64
+	valid      bool
+	// Dirty marks modified data that must be written back on eviction.
+	Dirty bool
+	// Prefetched marks a line installed by a prefetcher and not yet
+	// demanded; the first demand hit "confirms" it.
+	Prefetched bool
+	// Flushed marks a pending G1 clwb on this line: the line remains
+	// readable by the flushing thread for a few more instructions (the
+	// pipeline depth of the invalidation, §3.5) and is then evicted.
+	Flushed bool
+
+	_ [12]byte // pad to 64
 }
 
 // Addr returns the line's tag address.
@@ -63,10 +70,45 @@ type Cache struct {
 	cfg   Config
 	nsets int
 	ways  []Line // nsets * assoc, row-major by set
-	tick  uint64
+	// tags mirrors ways' (valid, addr) pairs as line|1 per occupied way
+	// (0 = invalid). Lookups scan this compact array — a whole 8-way set
+	// fits in one host cacheline — instead of striding across Line structs.
+	tags []uint64
+	tick uint64
+
+	// Set-index fast path: pow2 set counts reduce to a mask; other
+	// geometries use a Lemire fastmod (exact for every line index below
+	// fastmodMax, which covers the whole simulated address space).
+	setMask    uint64 // nsets-1 when nsets is a power of two
+	setPow2    bool
+	fastmodM   uint64 // floor(2^64/nsets) + 1
+	fastmodMax uint64 // exactness bound on the line index
+
+	// pred is a direct-mapped way predictor: pred[line mod predSlots]
+	// holds the flat ways index where that line was last found. Entries
+	// are self-validating — the fast path re-checks the pointed-to
+	// frame's own valid+addr, one dependent load after the predictor
+	// probe — so collisions and stale slots cost only the fallback scan,
+	// and no invalidation hooks are needed. It turns the repeated lookups of the
+	// strided access pattern every experiment produces into one predicted
+	// load apiece.
+	pred []int32
+
+	// occupied counts valid lines. Its only fast-path use is the == 0
+	// test: a completely empty level (L2/L3 during a pure store+flush
+	// phase) answers every probe with one branch instead of a set scan.
+	occupied int
 
 	hits, misses uint64
 }
+
+// predSlots sizes the way predictor (predMask indexes it). 1024 slots
+// cover four L1s' worth of distinct lines; larger working sets degrade
+// to the set scan, never to wrong answers.
+const (
+	predSlots = 1 << 10
+	predMask  = predSlots - 1
+)
 
 // New builds a cache level. Size must be a multiple of Assoc cachelines.
 func New(cfg Config) *Cache {
@@ -74,11 +116,26 @@ func New(cfg Config) *Cache {
 	if cfg.Assoc <= 0 || lines < cfg.Assoc || lines%cfg.Assoc != 0 {
 		panic(fmt.Sprintf("cache: bad geometry for %s: %d bytes, %d-way", cfg.Name, cfg.Size, cfg.Assoc))
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:   cfg,
 		nsets: lines / cfg.Assoc,
 		ways:  make([]Line, lines),
+		tags:  make([]uint64, lines),
+		pred:  make([]int32, predSlots),
 	}
+	n := uint64(c.nsets)
+	if n&(n-1) == 0 {
+		c.setPow2 = true
+		c.setMask = n - 1
+	} else {
+		// Lemire's fastmod: with M = floor(2^64/n)+1, the identity
+		// mulhi(M*x, n) == x%n holds for all x < 2^64/(n·(1+eps));
+		// 2^63/n is a conservative, cheap-to-check bound. Line indices
+		// are physical addresses >> 6, far below it for any real nsets.
+		c.fastmodM = ^uint64(0)/n + 1
+		c.fastmodMax = (uint64(1) << 63) / n
+	}
+	return c
 }
 
 // Config returns the level's configuration.
@@ -87,22 +144,77 @@ func (c *Cache) Config() Config { return c.cfg }
 // HitCycles returns the level's hit latency.
 func (c *Cache) HitCycles() sim.Cycles { return c.cfg.HitCycles }
 
-func (c *Cache) set(addr mem.Addr) []Line {
-	idx := int(uint64(addr.Line()/mem.CachelineSize) % uint64(c.nsets))
-	return c.ways[idx*c.cfg.Assoc : (idx+1)*c.cfg.Assoc]
+// setIndex maps a line address to its set number. The result is
+// identical to (line/CachelineSize) % nsets by construction; only the
+// arithmetic route differs.
+func (c *Cache) setIndex(la mem.Addr) int {
+	x := uint64(la) >> lineShift
+	if c.setPow2 {
+		return int(x & c.setMask)
+	}
+	if x < c.fastmodMax {
+		hi, _ := bits.Mul64(c.fastmodM*x, uint64(c.nsets))
+		return int(hi)
+	}
+	return int(x % uint64(c.nsets))
 }
+
+// lineShift is log2(CachelineSize); addresses shift right by it to form
+// line indices.
+const lineShift = 6
 
 // Lookup finds the line containing addr, updating LRU state. It returns
 // nil on a miss.
 func (c *Cache) Lookup(addr mem.Addr) *Line {
 	la := addr.Line()
-	set := c.set(la)
-	for i := range set {
-		if set[i].valid && set[i].addr == la {
+	l := &c.ways[c.pred[(uint64(la)>>lineShift)&predMask]]
+	if l.valid && l.addr == la {
+		c.tick++
+		l.lastUse = c.tick
+		c.hits++
+		return l
+	}
+	return c.lookupSlow(la, uint64(la)|1)
+}
+
+// PredictLine returns the line containing addr if the way predictor
+// directly hits, with NO LRU or statistics update — the caller must
+// either call Touch on the result to commit the hit, or fall back to
+// Lookup. It is small enough to inline, which is the point: hot callers
+// pair PredictLine+Touch to resolve the common case without a function
+// call. addr must be line-aligned.
+func (c *Cache) PredictLine(la mem.Addr) *Line {
+	l := &c.ways[c.pred[(uint64(la)>>lineShift)&predMask]]
+	if l.valid && l.addr == la {
+		return l
+	}
+	return nil
+}
+
+// Touch commits a PredictLine hit: the LRU and hit-counter updates
+// Lookup would have performed.
+func (c *Cache) Touch(l *Line) {
+	c.tick++
+	l.lastUse = c.tick
+	c.hits++
+}
+
+// lookupSlow is Lookup's set-scan fallback on a predictor miss.
+func (c *Cache) lookupSlow(la mem.Addr, key uint64) *Line {
+	if c.occupied == 0 {
+		c.misses++
+		return nil
+	}
+	base := c.setIndex(la) * c.cfg.Assoc
+	tags := c.tags[base : base+c.cfg.Assoc]
+	for i := range tags {
+		if tags[i] == key {
 			c.tick++
-			set[i].lastUse = c.tick
+			l := &c.ways[base+i]
+			l.lastUse = c.tick
 			c.hits++
-			return &set[i]
+			c.pred[(uint64(la)>>lineShift)&predMask] = int32(base + i)
+			return l
 		}
 	}
 	c.misses++
@@ -113,10 +225,24 @@ func (c *Cache) Lookup(addr mem.Addr) *Line {
 // statistics.
 func (c *Cache) Peek(addr mem.Addr) *Line {
 	la := addr.Line()
-	set := c.set(la)
-	for i := range set {
-		if set[i].valid && set[i].addr == la {
-			return &set[i]
+	key := uint64(la) | 1
+	if l := &c.ways[c.pred[(uint64(la)>>lineShift)&predMask]]; l.valid && l.addr == la {
+		return l
+	}
+	return c.peekSlow(la, key)
+}
+
+// peekSlow is Peek's set-scan fallback on a predictor miss.
+func (c *Cache) peekSlow(la mem.Addr, key uint64) *Line {
+	if c.occupied == 0 {
+		return nil
+	}
+	base := c.setIndex(la) * c.cfg.Assoc
+	tags := c.tags[base : base+c.cfg.Assoc]
+	for i := range tags {
+		if tags[i] == key {
+			c.pred[(uint64(la)>>lineShift)&predMask] = int32(base + i)
+			return &c.ways[base+i]
 		}
 	}
 	return nil
@@ -127,26 +253,27 @@ func (c *Cache) Peek(addr mem.Addr) *Line {
 // already present it is updated in place (no victim).
 func (c *Cache) Insert(addr mem.Addr, dirty, prefetched bool, readyAt sim.Cycles) (Victim, bool) {
 	la := addr.Line()
-	set := c.set(la)
+	key := uint64(la) | 1
+	base := c.setIndex(la) * c.cfg.Assoc
+	set := c.ways[base : base+c.cfg.Assoc]
+	tags := c.tags[base : base+c.cfg.Assoc]
 	c.tick++
-	// Update in place if present.
-	for i := range set {
-		if set[i].valid && set[i].addr == la {
+	// One compact pass: update in place if present, else note the first
+	// invalid way.
+	slot := -1
+	for i, k := range tags {
+		if k == key {
 			set[i].Dirty = set[i].Dirty || dirty
 			set[i].Prefetched = set[i].Prefetched && prefetched
 			if readyAt > set[i].ReadyAt {
 				set[i].ReadyAt = readyAt
 			}
 			set[i].lastUse = c.tick
+			c.pred[(uint64(la)>>lineShift)&predMask] = int32(base + i)
 			return Victim{}, false
 		}
-	}
-	// Prefer an invalid way.
-	slot := -1
-	for i := range set {
-		if !set[i].valid {
+		if k == 0 && slot < 0 {
 			slot = i
-			break
 		}
 	}
 	var victim Victim
@@ -160,6 +287,8 @@ func (c *Cache) Insert(addr mem.Addr, dirty, prefetched bool, readyAt sim.Cycles
 		}
 		victim = Victim{Addr: set[slot].addr, Dirty: set[slot].Dirty}
 		evicted = true
+	} else {
+		c.occupied++
 	}
 	set[slot] = Line{
 		addr:       la,
@@ -169,18 +298,34 @@ func (c *Cache) Insert(addr mem.Addr, dirty, prefetched bool, readyAt sim.Cycles
 		ReadyAt:    readyAt,
 		lastUse:    c.tick,
 	}
+	c.tags[base+slot] = key
+	c.pred[(uint64(la)>>lineShift)&predMask] = int32(base + slot)
 	return victim, evicted
 }
 
 // Invalidate removes the line containing addr, reporting whether it was
 // present and dirty.
 func (c *Cache) Invalidate(addr mem.Addr) (present, dirty bool) {
+	if c.occupied == 0 {
+		return false, false
+	}
 	la := addr.Line()
-	set := c.set(la)
+	key := uint64(la) | 1
+	if i := int(c.pred[(uint64(la)>>lineShift)&predMask]); c.ways[i].valid && c.ways[i].addr == la {
+		dirty = c.ways[i].Dirty
+		c.ways[i] = Line{}
+		c.tags[i] = 0
+		c.occupied--
+		return true, dirty
+	}
+	base := c.setIndex(la) * c.cfg.Assoc
+	set := c.ways[base : base+c.cfg.Assoc]
 	for i := range set {
-		if set[i].valid && set[i].addr == la {
+		if c.tags[base+i] == key {
 			dirty = set[i].Dirty
 			set[i] = Line{}
+			c.tags[base+i] = 0
+			c.occupied--
 			return true, dirty
 		}
 	}
@@ -194,6 +339,8 @@ func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
 func (c *Cache) Reset() {
 	for i := range c.ways {
 		c.ways[i] = Line{}
+		c.tags[i] = 0
 	}
 	c.tick, c.hits, c.misses = 0, 0, 0
+	c.occupied = 0
 }

@@ -73,7 +73,10 @@ func newWPQ(depth int) *wpq { return &wpq{land: make([]sim.Cycles, depth)} }
 // arriving at now, popping entries that have landed by then.
 func (q *wpq) freeSlotAt(now sim.Cycles) sim.Cycles {
 	for q.count > 0 && q.land[q.head] <= now {
-		q.head = (q.head + 1) % len(q.land)
+		q.head++
+		if q.head == len(q.land) {
+			q.head = 0
+		}
 		q.count--
 	}
 	if q.count < len(q.land) {
@@ -81,13 +84,19 @@ func (q *wpq) freeSlotAt(now sim.Cycles) sim.Cycles {
 	}
 	// Full: wait for the oldest entry to land.
 	t := q.land[q.head]
-	q.head = (q.head + 1) % len(q.land)
+	q.head++
+	if q.head == len(q.land) {
+		q.head = 0
+	}
 	q.count--
 	return t
 }
 
 func (q *wpq) push(landed sim.Cycles) {
-	tail := (q.head + q.count) % len(q.land)
+	tail := q.head + q.count
+	if tail >= len(q.land) {
+		tail -= len(q.land)
+	}
 	q.land[tail] = landed
 	q.count++
 	q.lastLand = landed
@@ -102,7 +111,7 @@ type Controller struct {
 
 	// hazards maps a cacheline to the time it becomes readable again
 	// after a flush/nt-store was accepted (accept + device RAP window).
-	hazards     map[mem.Addr]sim.Cycles
+	hazards     *hazardTable
 	hazardPrune int
 	maxNow      sim.Cycles
 
@@ -127,7 +136,7 @@ func NewController(cfg Config, devs ...Device) *Controller {
 	c := &Controller{
 		cfg:     cfg,
 		devs:    devs,
-		hazards: make(map[mem.Addr]sim.Cycles),
+		hazards: newHazardTable(),
 	}
 	for range devs {
 		c.wpqs = append(c.wpqs, newWPQ(cfg.WPQDepth))
@@ -161,11 +170,11 @@ func (c *Controller) Counters() trace.Counters {
 // stall on an open read-after-persist hazard for the target line.
 func (c *Controller) Read(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
 	line := addr.Line()
-	if hu, ok := c.hazards[line]; ok {
+	if hu, ok := c.hazards.get(line); ok {
 		if hu > now {
 			now = hu
 		} else {
-			delete(c.hazards, line)
+			c.hazards.remove(line)
 		}
 	}
 	c.observe(now)
@@ -190,9 +199,7 @@ func (c *Controller) Write(now sim.Cycles, addr mem.Addr) (accept, landed sim.Cy
 
 	line := addr.Line()
 	hazard := accept + c.devs[idx].RAPWindow()
-	if existing, ok := c.hazards[line]; !ok || hazard > existing {
-		c.hazards[line] = hazard
-	}
+	c.hazards.setMax(line, hazard)
 	c.observe(accept)
 	c.maybePruneHazards()
 	if c.writeObs != nil {
@@ -209,19 +216,18 @@ func (c *Controller) observe(now sim.Cycles) {
 	}
 }
 
-// maybePruneHazards bounds the hazard map by sweeping expired entries
-// periodically.
+// maybePruneHazards bounds the hazard table by sweeping expired entries
+// periodically. The trigger (write counter and live-entry floor) and the
+// expiry criterion are those of the original map-based implementation,
+// because the moment entries disappear is observable to time-rewound
+// loads and must not move.
 func (c *Controller) maybePruneHazards() {
 	c.hazardPrune++
-	if c.hazardPrune < 1<<15 || len(c.hazards) < 1<<14 {
+	if c.hazardPrune < 1<<15 || c.hazards.live < 1<<14 {
 		return
 	}
 	c.hazardPrune = 0
-	for line, hu := range c.hazards {
-		if hu <= c.maxNow {
-			delete(c.hazards, line)
-		}
-	}
+	c.hazards.rebuild(true, c.maxNow)
 }
 
 func (c *Controller) String() string {

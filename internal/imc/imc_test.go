@@ -160,8 +160,8 @@ func TestHazardPruning(t *testing.T) {
 	for i := 0; i < 1<<16; i++ {
 		c.Write(sim.Cycles(i*100), mem.PMBase+mem.Addr(i*64))
 	}
-	if len(c.hazards) >= 1<<16 {
-		t.Fatalf("hazard map never pruned: %d entries", len(c.hazards))
+	if c.hazards.live >= 1<<16 {
+		t.Fatalf("hazard table never pruned: %d entries", c.hazards.live)
 	}
 }
 

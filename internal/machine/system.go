@@ -90,6 +90,17 @@ type System struct {
 	nextTID int
 	running bool
 	done    chan struct{}
+	// live is the number of registered-but-unfinished threads in the
+	// current Run. While it is 1 the per-op scheduler check reduces to a
+	// single comparison: no baton can change hands, so channel handoffs
+	// (and the min-time scan) are skipped entirely.
+	live int
+
+	// Tag interning: attribution tags are small integers indexing flat
+	// per-thread cycle arrays; the string API survives only at the edges
+	// (SetTag/TagCycles/Tags). ID 0 is the empty tag (no attribution).
+	tagIDs   map[string]int
+	tagNames []string
 
 	// persistFn, when non-nil, receives timed persistence events (see
 	// ObservePersist).
@@ -114,7 +125,11 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.IMC.WPQDepth == 0 {
 		cfg.IMC = imc.DefaultConfig()
 	}
-	s := &System{cfg: cfg}
+	s := &System{
+		cfg:      cfg,
+		tagIDs:   map[string]int{"": 0},
+		tagNames: []string{""},
+	}
 	s.l3 = cache.New(cfg.CPU.L3)
 	for i := 0; i < cfg.Cores; i++ {
 		s.cores = append(s.cores, &Core{
@@ -216,34 +231,75 @@ func (s *System) Go(name string, coreID int, remote bool, fn func(*Thread)) *Thr
 		panic(fmt.Sprintf("machine: core %d out of range", coreID))
 	}
 	t := &Thread{
-		sys:    s,
-		id:     s.nextTID,
-		name:   name,
-		core:   s.cores[coreID],
-		remote: remote,
-		resume: make(chan struct{}),
-		fn:     fn,
-		tags:   make(map[string]sim.Cycles),
+		sys:        s,
+		id:         s.nextTID,
+		name:       name,
+		core:       s.cores[coreID],
+		remote:     remote,
+		fn:         fn,
+		cpuProf:    &s.cfg.CPU,
+		l1:         s.cores[coreID].L1,
+		l1Hit:      s.cores[coreID].L1.HitCycles(),
+		pmDemand:   &s.pmDemand,
+		dramDemand: &s.dramDemand,
 	}
 	s.nextTID++
 	s.threads = append(s.threads, t)
 	return t
 }
 
+// internTag returns the stable small-integer ID of an attribution tag,
+// assigning the next free one on first sight.
+func (s *System) internTag(name string) int {
+	if id, ok := s.tagIDs[name]; ok {
+		return id
+	}
+	id := len(s.tagNames)
+	s.tagIDs[name] = id
+	s.tagNames = append(s.tagNames, name)
+	return id
+}
+
 // Run executes all registered threads to completion under the
 // deterministic min-time scheduler, then clears the thread list. It
 // returns the final simulated time (the max over thread finish times).
+//
+// A single registered thread — the shape of every single-thread sweep —
+// bypasses the scheduler entirely: the body runs inline on the calling
+// goroutine with no channels or goroutine handoffs, and every per-op
+// schedule() call reduces to one counter check. With two or more
+// threads the min-time coroutine baton is used as before.
 func (s *System) Run() sim.Cycles {
 	if len(s.threads) == 0 {
 		return 0
 	}
 	s.running = true
-	s.done = make(chan struct{})
 	for _, c := range s.cores {
 		c.live = 0
 	}
 	for _, t := range s.threads {
 		t.core.live++
+	}
+	for _, t := range s.threads {
+		t.htShared = t.core.live > 1
+	}
+	s.live = len(s.threads)
+
+	if len(s.threads) == 1 {
+		t := s.threads[0]
+		t.solo = true
+		t.fn(t)
+		t.finished = true
+		s.live = 0
+		end := t.now
+		s.threads = s.threads[:0]
+		s.running = false
+		return end
+	}
+
+	s.done = make(chan struct{})
+	for _, t := range s.threads {
+		t.resume = make(chan struct{})
 	}
 	for _, t := range s.threads {
 		go t.main()

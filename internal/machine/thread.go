@@ -4,6 +4,7 @@ import (
 	"optanesim/internal/cache"
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
+	"optanesim/internal/trace"
 )
 
 // Thread is one simulated hardware thread. Workloads drive it
@@ -35,14 +36,35 @@ type Thread struct {
 	flushHead int
 
 	// Attribution: cycles accumulate into the current tag's bucket.
-	tags   map[string]sim.Cycles
-	curTag string
-	ops    uint64
+	// Tags are interned per system (see System.internTag); tagCycles is
+	// indexed by tag ID, with ID 0 (the empty tag) never accumulated.
+	tagCycles []sim.Cycles
+	curTag    int
+	// lastTagName/lastTagID memoize the most recent SetTag string so
+	// repeated tag switches between the same constants skip the intern
+	// map.
+	lastTagName string
+	lastTagID   int
+	ops         uint64
 
-	// Scheduling.
+	// Scheduling. solo is set by Run when this thread is the only one
+	// registered, collapsing schedule() to a counter increment. htShared
+	// snapshots core.live > 1 at the same point (core bindings are fixed
+	// for the whole Run), sparing feCost the core deref per op.
+	solo     bool
+	htShared bool
 	resume   chan struct{}
 	fn       func(*Thread)
 	finished bool
+
+	// cpuProf caches &sys.cfg.CPU: the hot paths read several profile
+	// fields per op and skip the two-level deref. l1, l1Hit, pmDemand and
+	// dramDemand flatten the other per-op pointer chains the same way.
+	cpuProf    *CPUProfile
+	l1         *cache.Cache
+	l1Hit      sim.Cycles
+	pmDemand   *trace.Counters
+	dramDemand *trace.Counters
 
 	// traces, when non-nil, records recent operations (EnableTrace).
 	traces *traceRing
@@ -65,19 +87,49 @@ func (t *Thread) System() *System { return t.sys }
 
 // SetTag directs subsequent cycle accounting into the named bucket
 // (Table 1's time breakdown). An empty tag disables attribution.
-func (t *Thread) SetTag(tag string) { t.curTag = tag }
+func (t *Thread) SetTag(tag string) {
+	if tag == "" {
+		t.curTag = 0
+		return
+	}
+	if tag != t.lastTagName {
+		t.lastTagName = tag
+		t.lastTagID = t.sys.internTag(tag)
+	}
+	id := t.lastTagID
+	for len(t.tagCycles) <= id {
+		t.tagCycles = append(t.tagCycles, 0)
+	}
+	t.curTag = id
+}
 
 // TagCycles returns the cycles attributed to tag so far.
-func (t *Thread) TagCycles(tag string) sim.Cycles { return t.tags[tag] }
+func (t *Thread) TagCycles(tag string) sim.Cycles {
+	id, ok := t.sys.tagIDs[tag]
+	if !ok || id >= len(t.tagCycles) {
+		return 0
+	}
+	return t.tagCycles[id]
+}
 
-// Tags returns the full attribution map.
-func (t *Thread) Tags() map[string]sim.Cycles { return t.tags }
+// Tags returns the attribution buckets that accumulated cycles. The map
+// is a fresh copy: mutating it cannot corrupt the thread's accounting.
+func (t *Thread) Tags() map[string]sim.Cycles {
+	out := make(map[string]sim.Cycles, len(t.tagCycles))
+	for id, c := range t.tagCycles {
+		if c != 0 {
+			out[t.sys.tagNames[id]] = c
+		}
+	}
+	return out
+}
 
 // main is the coroutine body.
 func (t *Thread) main() {
 	<-t.resume
 	t.fn(t)
 	t.finished = true
+	t.sys.live--
 	if next := t.sys.pickNext(); next != nil {
 		next.resume <- struct{}{}
 	} else {
@@ -86,9 +138,17 @@ func (t *Thread) main() {
 }
 
 // schedule yields the baton if another thread is behind in simulated
-// time. Every public operation calls it first.
+// time. Every public operation calls it first. With a single live
+// thread — a single-thread Run, or the tail of a multi-thread one — no
+// baton can change hands and the check collapses to one comparison.
 func (t *Thread) schedule() {
 	t.ops++
+	if t.solo {
+		return
+	}
+	if t.sys.live <= 1 {
+		return
+	}
 	next := t.sys.pickNext()
 	if next == nil || next == t {
 		return
@@ -103,22 +163,30 @@ func (t *Thread) advance(at sim.Cycles) {
 	if at <= t.now {
 		return
 	}
-	if t.curTag != "" {
-		t.tags[t.curTag] += at - t.now
+	if t.curTag != 0 {
+		t.tagCycles[t.curTag] += at - t.now
 	}
 	t.now = at
 }
 
 // cpu returns the CPU profile.
-func (t *Thread) cpu() *CPUProfile { return &t.sys.cfg.CPU }
+func (t *Thread) cpu() *CPUProfile { return t.cpuProf }
 
 // feCost scales a front-end cost for hyperthread sharing when a sibling
 // thread is live on the same core.
 func (t *Thread) feCost(c sim.Cycles) sim.Cycles {
-	if t.core.live > 1 {
-		return c + c*sim.Cycles(t.cpu().HTSharePenaltyPct)/100
+	if t.htShared {
+		return c + c*sim.Cycles(t.cpuProf.HTSharePenaltyPct)/100
 	}
 	return c
+}
+
+// demand returns the demand-traffic counter set for addr's region.
+func (t *Thread) demand(addr mem.Addr) *trace.Counters {
+	if addr.IsPM() {
+		return t.pmDemand
+	}
+	return t.dramDemand
 }
 
 // remoteReadExtra is the NUMA penalty for this thread reading addr.
@@ -148,20 +216,30 @@ func (t *Thread) LoadDep(addr mem.Addr) {
 func (t *Thread) load(addr mem.Addr, ooo bool) {
 	t.schedule()
 	start := t.now
-	cpu := t.cpu()
-	t.sys.demand(addr).DemandReadBytes += mem.CachelineSize
+	cpu := t.cpuProf
+	t.demand(addr).DemandReadBytes += mem.CachelineSize
 
 	eff := t.now
 	if ooo {
 		eff -= cpu.OOOWindow
 	}
+	// loadBarrier is never negative, so this clamp also floors eff at 0.
 	if eff < t.loadBarrier {
 		eff = t.loadBarrier
 	}
-	if eff < 0 {
-		eff = 0
+	// Plain predicted L1 hit (no pending flush, no prefetch
+	// confirmation): commit the hit and complete here, skipping the
+	// generic hierarchy walk. Any other case — predictor miss, flushed or
+	// prefetched line — takes the full readPath, whose Lookup performs
+	// the identical accounting.
+	la := addr.Line()
+	var done sim.Cycles
+	if l := t.l1.PredictLine(la); l != nil && !l.Flushed && !l.Prefetched {
+		t.l1.Touch(l)
+		done = sim.Max(eff, l.ReadyAt) + t.l1Hit
+	} else {
+		done = t.readPath(eff, addr, true)
 	}
-	done := t.readPath(eff, addr, true)
 	t.advance(sim.Max(t.now+t.feCost(cpu.LoadIssueCycles), done))
 	t.record(mem.OpLoad, addr, start)
 }
@@ -174,11 +252,9 @@ func (t *Thread) LoadParallel(addrs ...mem.Addr) {
 	t.schedule()
 	cpu := t.cpu()
 	eff := t.now - cpu.OOOWindow
+	// loadBarrier is never negative, so this clamp also floors eff at 0.
 	if eff < t.loadBarrier {
 		eff = t.loadBarrier
-	}
-	if eff < 0 {
-		eff = 0
 	}
 	var done sim.Cycles
 	for _, addr := range addrs {
@@ -195,18 +271,32 @@ func (t *Thread) LoadParallel(addrs ...mem.Addr) {
 // returns the data-available time. It fills caches and triggers the
 // prefetchers.
 func (t *Thread) readPath(start sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
+	if l := t.core.L1.Lookup(addr.Line()); l != nil {
+		return t.readPathL1(start, addr, l, demand)
+	}
+	return t.readPathMiss(start, addr, demand)
+}
+
+// readPathL1 completes a demand read that found line l in L1: a hit
+// unless the line's pending flush invalidation has expired, in which
+// case the walk resumes at L2.
+func (t *Thread) readPathL1(start sim.Cycles, addr mem.Addr, l *cache.Line, demand bool) sim.Cycles {
+	if t.flushExpired(t.core.L1, l, start) {
+		return t.readPathMiss(start, addr, demand)
+	}
+	confirmed := l.Prefetched
+	l.Prefetched = false
+	done := sim.Max(start, l.ReadyAt) + t.core.L1.HitCycles()
+	if confirmed {
+		t.issuePrefetches(addr, false, true, done)
+	}
+	return done
+}
+
+// readPathMiss walks the hierarchy below L1 for a demand read.
+func (t *Thread) readPathMiss(start sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
 	la := addr.Line()
 
-	// L1.
-	if l := t.core.L1.Lookup(la); l != nil && !t.flushExpired(t.core.L1, l, start) {
-		confirmed := l.Prefetched
-		l.Prefetched = false
-		done := sim.Max(start, l.ReadyAt) + t.core.L1.HitCycles()
-		if confirmed {
-			t.issuePrefetches(addr, false, true, done)
-		}
-		return done
-	}
 	// L2.
 	if l := t.core.L2.Lookup(la); l != nil && !t.flushExpired(t.core.L2, l, start) {
 		confirmed := l.Prefetched
@@ -314,16 +404,16 @@ func (t *Thread) issuePrefetches(addr mem.Addr, miss, confirmed bool, at sim.Cyc
 func (t *Thread) Store(addr mem.Addr) {
 	t.schedule()
 	start := t.now
-	defer func() {
-		t.record(mem.OpStore, addr, start)
-		if addr.IsPM() {
-			t.sys.emitPersist(PersistEvent{Kind: PersistStore, Thread: t.id, Line: addr.Line(), At: t.now})
-		}
-	}()
-	cpu := t.cpu()
-	t.sys.demand(addr).DemandWriteBytes += mem.CachelineSize
+	cpu := t.cpuProf
+	t.demand(addr).DemandWriteBytes += mem.CachelineSize
 	la := addr.Line()
-	if l := t.core.L1.Lookup(la); l != nil && !t.flushExpired(t.core.L1, l, t.now) {
+	if l := t.l1.PredictLine(la); l != nil && !l.Flushed {
+		// Predicted unflushed L1 hit: commit and re-dirty in place.
+		t.l1.Touch(l)
+		l.Dirty = true
+		l.Prefetched = false
+		t.advance(t.now + t.feCost(cpu.StoreCycles))
+	} else if l := t.core.L1.Lookup(la); l != nil && (!l.Flushed || !t.flushExpired(t.core.L1, l, t.now)) {
 		// A pending clwb invalidation is NOT cancelled by the store: the
 		// line is re-dirtied but still gets evicted when the
 		// invalidation lands, which is what makes repeated
@@ -331,10 +421,14 @@ func (t *Thread) Store(addr mem.Addr) {
 		l.Dirty = true
 		l.Prefetched = false
 		t.advance(t.now + t.feCost(cpu.StoreCycles))
-		return
+	} else {
+		t.fillLevel(t.core.L1, la, true, false, t.now)
+		t.advance(t.now + t.feCost(cpu.StoreCycles+2))
 	}
-	t.fillLevel(t.core.L1, la, true, false, t.now)
-	t.advance(t.now + t.feCost(cpu.StoreCycles+2))
+	t.record(mem.OpStore, addr, start)
+	if addr.IsPM() {
+		t.sys.emitPersist(PersistEvent{Kind: PersistStore, Thread: t.id, Line: la, At: t.now})
+	}
 }
 
 // flushFloor returns the earliest time a new flush/nt-store may issue,
@@ -414,7 +508,6 @@ func (t *Thread) flush(addr mem.Addr, keepCached, lazy bool) {
 	if lazy || keepCached {
 		kind = mem.OpCLWB
 	}
-	defer func() { t.record(kind, addr, start) }()
 	cpu := t.cpu()
 	la := addr.Line()
 
@@ -422,11 +515,16 @@ func (t *Thread) flush(addr mem.Addr, keepCached, lazy bool) {
 	// their issue slot (§6).
 	if cpu.EADR {
 		t.advance(t.now + t.feCost(cpu.FlushIssueCycles)/2)
+		t.record(kind, addr, start)
 		return
 	}
 
 	dirty := false
-	if l := t.core.L1.Peek(la); l != nil {
+	l := t.l1.PredictLine(la)
+	if l == nil {
+		l = t.l1.Peek(la)
+	}
+	if l != nil {
 		dirty = dirty || l.Dirty
 		switch {
 		case keepCached:
@@ -478,9 +576,10 @@ func (t *Thread) flush(addr mem.Addr, keepCached, lazy bool) {
 		t.pending = append(t.pending, accept)
 		// The core stalls when its flush pipeline is saturated.
 		t.advance(sim.Max(t.now+cost, issueAt))
-		return
+	} else {
+		t.advance(t.now + cost)
 	}
-	t.advance(t.now + cost)
+	t.record(kind, addr, start)
 }
 
 // SFence completes when every flush/nt-store issued since the last fence
@@ -501,10 +600,6 @@ func (t *Thread) SFence() {
 func (t *Thread) MFence() {
 	t.schedule()
 	start := t.now
-	defer func() {
-		t.record(mem.OpMFence, 0, start)
-		t.sys.emitPersist(PersistEvent{Kind: PersistFence, Thread: t.id, At: t.now})
-	}()
 	t.fenceWait()
 	t.loadBarrier = t.now
 	for _, la := range t.lazyFlushed {
@@ -513,6 +608,8 @@ func (t *Thread) MFence() {
 		}
 	}
 	t.lazyFlushed = t.lazyFlushed[:0]
+	t.record(mem.OpMFence, 0, start)
+	t.sys.emitPersist(PersistEvent{Kind: PersistFence, Thread: t.id, At: t.now})
 }
 
 func (t *Thread) fenceWait() {

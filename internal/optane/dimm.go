@@ -140,6 +140,7 @@ func (d *DIMM) ensureSpace(now sim.Cycles) sim.Cycles {
 			slotFree = free
 		}
 	}
+	d.wb.recycle(victims)
 	if slotFree < 0 {
 		return now
 	}
@@ -176,10 +177,12 @@ func (d *DIMM) evict(v *wbEntry, now sim.Cycles) sim.Cycles {
 // drainPeriodic performs G1's periodic write-back of fully modified
 // XPLines whose deadline has passed.
 func (d *DIMM) drainPeriodic(now sim.Cycles) {
-	for _, e := range d.wb.DuePeriodic(now) {
+	due := d.wb.DuePeriodic(now)
+	for _, e := range due {
 		deadline := e.fullAt + d.prof.PeriodicWritebackCycles
 		d.writePorts.Acquire(sim.Max(deadline, 0), d.prof.MediaWriteCycles)
 		d.c.MediaWrites++
 		d.c.MediaWriteBytes += mem.XPLineSize
 	}
+	d.wb.recycle(due)
 }

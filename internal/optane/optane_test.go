@@ -179,9 +179,9 @@ func TestReadBufferToWriteBufferTransition(t *testing.T) {
 	}
 	// ...into the write buffer, carrying full base data, so its later
 	// eviction needs no RMW read.
-	e, present := d.wb.entries[pmAddr(7, 0).XPLine()]
-	if !present || !e.hasBase {
-		t.Fatalf("transitioned entry missing base data: present=%v", present)
+	e := d.wb.tbl.get(pmAddr(7, 0).XPLine())
+	if e == nil || !e.hasBase {
+		t.Fatalf("transitioned entry missing base data: present=%v", e != nil)
 	}
 	// And a read of an unwritten line of that XPLine is served by the
 	// write buffer's base data.

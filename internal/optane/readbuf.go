@@ -15,8 +15,13 @@ type readBuffer struct {
 	capacity int
 	// retainServed disables the cache-exclusive consumption (ablation).
 	retainServed bool
-	entries      map[mem.Addr]*rbEntry // keyed by XPLine address
-	fifo         []mem.Addr            // insertion order, oldest first
+	entries map[mem.Addr]*rbEntry // keyed by XPLine address
+	// fifo holds insertion order, oldest first from fifoHead; the popped
+	// prefix is compacted periodically so the backing array is reused.
+	fifo     []mem.Addr
+	fifoHead int
+	// free recycles rbEntry structs evicted or taken out of the buffer.
+	free []*rbEntry
 
 	insertions uint64
 	evictions  uint64
@@ -71,7 +76,15 @@ func (rb *readBuffer) Install(addr mem.Addr, servedIdx int, readyAt sim.Cycles) 
 		e.readyAt = readyAt
 		return
 	}
-	e := &rbEntry{xpl: xpl, readyAt: readyAt}
+	var e *rbEntry
+	if n := len(rb.free); n > 0 {
+		e = rb.free[n-1]
+		rb.free = rb.free[:n-1]
+		*e = rbEntry{}
+	} else {
+		e = &rbEntry{}
+	}
+	e.xpl, e.readyAt = xpl, readyAt
 	for i := range e.valid {
 		e.valid[i] = true
 	}
@@ -79,6 +92,11 @@ func (rb *readBuffer) Install(addr mem.Addr, servedIdx int, readyAt sim.Cycles) 
 		e.valid[servedIdx] = false
 	}
 	rb.entries[xpl] = e
+	if rb.fifoHead > 64 && rb.fifoHead*2 >= len(rb.fifo) {
+		n := copy(rb.fifo, rb.fifo[rb.fifoHead:])
+		rb.fifo = rb.fifo[:n]
+		rb.fifoHead = 0
+	}
 	rb.fifo = append(rb.fifo, xpl)
 	rb.insertions++
 	for len(rb.entries) > rb.capacity {
@@ -99,20 +117,27 @@ func (rb *readBuffer) Contains(addr mem.Addr) bool {
 // line into the write-combining buffer (§3.3).
 func (rb *readBuffer) Take(addr mem.Addr) bool {
 	xpl := addr.XPLine()
-	if _, present := rb.entries[xpl]; !present {
+	e, present := rb.entries[xpl]
+	if !present {
 		return false
 	}
 	delete(rb.entries, xpl)
+	rb.free = append(rb.free, e)
 	// The FIFO slice may retain a stale address; evictOldest skips those.
 	return true
 }
 
 func (rb *readBuffer) evictOldest() {
-	for len(rb.fifo) > 0 {
-		oldest := rb.fifo[0]
-		rb.fifo = rb.fifo[1:]
-		if _, present := rb.entries[oldest]; present {
+	for rb.fifoHead < len(rb.fifo) {
+		oldest := rb.fifo[rb.fifoHead]
+		rb.fifoHead++
+		if rb.fifoHead == len(rb.fifo) {
+			rb.fifo = rb.fifo[:0]
+			rb.fifoHead = 0
+		}
+		if e, present := rb.entries[oldest]; present {
 			delete(rb.entries, oldest)
+			rb.free = append(rb.free, e)
 			rb.evictions++
 			return
 		}

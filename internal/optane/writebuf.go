@@ -18,16 +18,35 @@ import (
 // Evicting a partially written XPLine requires a read-modify-write: the
 // missing bytes are read from the media (or taken from the read buffer)
 // before the 256 B media write.
+//
+// Residency is tracked in an open-addressed table rather than a runtime
+// map: the buffer is probed on every read and write the DIMM serves, and
+// the table keeps that probe to a multiply-shift hash plus a short scan
+// with zero steady-state allocation.
 type writeBuffer struct {
 	prof *Profile
 	rng  *sim.Rand
 
-	entries map[mem.Addr]*wbEntry
-	order   []mem.Addr // occupancy list for victim selection
+	tbl   wbTable
+	order []mem.Addr // occupancy list for victim selection
 
 	// fullQueue holds fully written XPLines awaiting periodic write-back
-	// (G1 only), oldest first.
-	fullQueue []mem.Addr
+	// (G1 only), oldest first from fqHead on; the popped prefix is
+	// compacted away periodically so the backing array is reused instead
+	// of reallocated. Each record pins the entry it refers to by
+	// generation: if the entry was evicted (and possibly re-allocated)
+	// since queueing, the generations disagree and the record is stale.
+	fullQueue []fullRec
+	fqHead    int
+
+	// free recycles wbEntry structs: the DIMM consumes evicted/drained
+	// entries synchronously and returns them via recycle, so steady-state
+	// allocation traffic is zero.
+	free []*wbEntry
+	// dueBuf and victimBuf are reused return buffers for DuePeriodic and
+	// PickVictims; contents are only valid until the next call.
+	dueBuf    []*wbEntry
+	victimBuf []*wbEntry
 
 	merges      uint64
 	allocations uint64
@@ -44,22 +63,30 @@ type wbEntry struct {
 	// buffer), in which case eviction needs no RMW media read.
 	hasBase bool
 	fullAt  sim.Cycles // when the entry became fully written
+	// gen counts this struct's residency epochs: it increments each time
+	// the entry leaves the buffer, invalidating fullQueue records that
+	// still point here.
+	gen uint64
+}
+
+type fullRec struct {
+	e   *wbEntry
+	gen uint64
+	xpl mem.Addr
 }
 
 func newWriteBuffer(prof *Profile, rng *sim.Rand) *writeBuffer {
-	return &writeBuffer{
-		prof:    prof,
-		rng:     rng,
-		entries: make(map[mem.Addr]*wbEntry, prof.WriteBufLines),
-	}
+	wb := &writeBuffer{prof: prof, rng: rng}
+	wb.tbl.init(wbInitialSlots)
+	return wb
 }
 
 // Contains reports whether the cacheline at addr has current data in the
 // write buffer (either that line was written, or full base data is
 // present).
 func (wb *writeBuffer) Contains(addr mem.Addr) bool {
-	e, present := wb.entries[addr.XPLine()]
-	if !present {
+	e := wb.tbl.get(addr.XPLine())
+	if e == nil {
 		return false
 	}
 	return e.hasBase || e.written[addr.LineInXPLine()]
@@ -67,16 +94,15 @@ func (wb *writeBuffer) Contains(addr mem.Addr) bool {
 
 // ContainsXPLine reports whether the XPLine containing addr has an entry.
 func (wb *writeBuffer) ContainsXPLine(addr mem.Addr) bool {
-	_, present := wb.entries[addr.XPLine()]
-	return present
+	return wb.tbl.get(addr.XPLine()) != nil
 }
 
 // Merge records a 64 B write into an existing entry, reporting whether
 // one was present. When the write completes the XPLine, the entry is
 // queued for G1's periodic write-back.
 func (wb *writeBuffer) Merge(addr mem.Addr, now sim.Cycles) bool {
-	e, present := wb.entries[addr.XPLine()]
-	if !present {
+	e := wb.tbl.get(addr.XPLine())
+	if e == nil {
 		return false
 	}
 	wb.merges++
@@ -88,11 +114,43 @@ func (wb *writeBuffer) Merge(addr mem.Addr, now sim.Cycles) bool {
 			e.hasBase = true
 			e.fullAt = now
 			if wb.prof.PeriodicWritebackCycles > 0 {
-				wb.fullQueue = append(wb.fullQueue, e.xpl)
+				wb.pushFull(e)
 			}
 		}
 	}
 	return true
+}
+
+// pushFull queues a fully written XPLine for periodic write-back,
+// compacting the consumed queue prefix when it dominates the backing
+// array.
+func (wb *writeBuffer) pushFull(e *wbEntry) {
+	if wb.fqHead > 64 && wb.fqHead*2 >= len(wb.fullQueue) {
+		n := copy(wb.fullQueue, wb.fullQueue[wb.fqHead:])
+		wb.fullQueue = wb.fullQueue[:n]
+		wb.fqHead = 0
+	}
+	wb.fullQueue = append(wb.fullQueue, fullRec{e: e, gen: e.gen, xpl: e.xpl})
+}
+
+// recycle returns consumed entries (from DuePeriodic or PickVictims) to
+// the freelist.
+func (wb *writeBuffer) recycle(entries []*wbEntry) {
+	wb.free = append(wb.free, entries...)
+}
+
+// newEntry takes an entry from the freelist or allocates one. The
+// residency generation survives the reset.
+func (wb *writeBuffer) newEntry() *wbEntry {
+	if n := len(wb.free); n > 0 {
+		e := wb.free[n-1]
+		wb.free = wb.free[:n-1]
+		g := e.gen
+		*e = wbEntry{}
+		e.gen = g
+		return e
+	}
+	return &wbEntry{}
 }
 
 // Allocate installs a fresh entry for the XPLine containing addr with the
@@ -100,12 +158,13 @@ func (wb *writeBuffer) Merge(addr mem.Addr, now sim.Cycles) bool {
 // (e.g. transitioned from the read buffer).
 func (wb *writeBuffer) Allocate(addr mem.Addr, hasBase bool, now sim.Cycles) {
 	xpl := addr.XPLine()
-	e := &wbEntry{xpl: xpl, hasBase: hasBase}
+	e := wb.newEntry()
+	e.xpl, e.hasBase = xpl, hasBase
 	idx := addr.LineInXPLine()
 	e.written[idx] = true
 	e.nWritten = 1
-	wb.entries[xpl] = e
-	if len(wb.order) >= 4*wb.prof.WriteBufLines && len(wb.order) >= 2*len(wb.entries) {
+	wb.tbl.put(xpl, e)
+	if len(wb.order) >= 4*wb.prof.WriteBufLines && len(wb.order) >= 2*wb.tbl.live {
 		wb.compactOrder()
 	}
 	wb.order = append(wb.order, xpl)
@@ -118,28 +177,29 @@ func (wb *writeBuffer) Allocate(addr mem.Addr, hasBase bool, now sim.Cycles) {
 // NeedsEviction reports whether an allocation would push occupancy past
 // the generation's high watermark.
 func (wb *writeBuffer) NeedsEviction() bool {
-	return len(wb.entries) >= wb.prof.WriteBufHighWater
+	return wb.tbl.live >= wb.prof.WriteBufHighWater
 }
 
 // PickVictims selects up to n random resident XPLines for eviction and
 // removes them from the buffer, returning their entries.
 func (wb *writeBuffer) PickVictims(n int) []*wbEntry {
-	victims := make([]*wbEntry, 0, n)
-	for len(victims) < n && len(wb.entries) > 0 {
+	victims := wb.victimBuf[:0]
+	for len(victims) < n && wb.tbl.live > 0 {
 		// Compact lazily: drop stale order slots as we encounter them.
 		i := wb.rng.Intn(len(wb.order))
 		xpl := wb.order[i]
-		e, present := wb.entries[xpl]
 		last := len(wb.order) - 1
 		wb.order[i] = wb.order[last]
 		wb.order = wb.order[:last]
-		if !present {
+		e := wb.tbl.del(xpl)
+		if e == nil {
 			continue
 		}
-		delete(wb.entries, xpl)
+		e.gen++
 		wb.evictions++
 		victims = append(victims, e)
 	}
+	wb.victimBuf = victims
 	return victims
 }
 
@@ -147,26 +207,46 @@ func (wb *writeBuffer) PickVictims(n int) []*wbEntry {
 // deadline (fullAt + interval) has passed by now. The returned entries
 // have been removed from the buffer. Entries that were evicted or
 // re-allocated in the meantime are skipped.
+//
+// The prefix scan must run on every call — a deadline watermark cannot
+// shortcut it. Discharging a stale record is a decision made against the
+// buffer state at call time: deferred, the same record can later find
+// its XPLine refilled and resurface as a blocking stand-in, delaying
+// unrelated XPLines queued behind it. The common case is one generation
+// compare and one deadline compare on the head record.
 func (wb *writeBuffer) DuePeriodic(now sim.Cycles) []*wbEntry {
 	if wb.prof.PeriodicWritebackCycles <= 0 {
 		return nil
 	}
-	var due []*wbEntry
-	for len(wb.fullQueue) > 0 {
-		xpl := wb.fullQueue[0]
-		e, present := wb.entries[xpl]
-		if !present || e.nWritten != mem.LinesPerXPLine {
-			wb.fullQueue = wb.fullQueue[1:]
-			continue
+	due := wb.dueBuf[:0]
+	for wb.fqHead < len(wb.fullQueue) {
+		rec := &wb.fullQueue[wb.fqHead]
+		e := rec.e
+		if e.gen != rec.gen {
+			// The queued entry left the buffer. If the XPLine was since
+			// re-allocated and written full again, this (oldest) record
+			// stands in for it, exactly as the address-keyed queue did:
+			// the current residency drains on the refill's own deadline.
+			e = wb.tbl.get(rec.xpl)
+			if e == nil || e.nWritten != mem.LinesPerXPLine {
+				wb.fqHead++
+				continue
+			}
 		}
 		if e.fullAt+wb.prof.PeriodicWritebackCycles > now {
 			break
 		}
-		wb.fullQueue = wb.fullQueue[1:]
-		delete(wb.entries, xpl)
+		wb.fqHead++
+		wb.tbl.del(rec.xpl)
+		e.gen++
 		wb.periodicWBs++
 		due = append(due, e)
 	}
+	if wb.fqHead == len(wb.fullQueue) {
+		wb.fullQueue = wb.fullQueue[:0]
+		wb.fqHead = 0
+	}
+	wb.dueBuf = due
 	return due
 }
 
@@ -175,9 +255,9 @@ func (wb *writeBuffer) DuePeriodic(now sim.Cycles) []*wbEntry {
 // selection stays deterministic.
 func (wb *writeBuffer) compactOrder() {
 	kept := wb.order[:0]
-	seen := make(map[mem.Addr]bool, len(wb.entries))
+	seen := make(map[mem.Addr]bool, wb.tbl.live)
 	for _, xpl := range wb.order {
-		if _, present := wb.entries[xpl]; present && !seen[xpl] {
+		if wb.tbl.get(xpl) != nil && !seen[xpl] {
 			seen[xpl] = true
 			kept = append(kept, xpl)
 		}
@@ -186,4 +266,118 @@ func (wb *writeBuffer) compactOrder() {
 }
 
 // Len reports the number of resident XPLine entries.
-func (wb *writeBuffer) Len() int { return len(wb.entries) }
+func (wb *writeBuffer) Len() int { return wb.tbl.live }
+
+// wbTable is a linear-probed open-addressed map from XPLine address to
+// its resident entry. Keys are xpl|1 (XPLines are 256-aligned, so the
+// low bit is free; 0 marks a never-used slot); a keyed slot with a nil
+// value is a tombstone keeping probe chains intact.
+type wbTable struct {
+	keys  []uint64
+	vals  []*wbEntry
+	live  int
+	used  int // occupied slots including tombstones (growth trigger)
+	shift uint
+}
+
+const wbInitialSlots = 1 << 9
+
+func (t *wbTable) init(slots int) {
+	t.keys = make([]uint64, slots)
+	t.vals = make([]*wbEntry, slots)
+	t.live = 0
+	t.used = 0
+	t.shift = 64
+	for s := slots; s > 1; s >>= 1 {
+		t.shift--
+	}
+}
+
+func (t *wbTable) slot(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> t.shift)
+}
+
+func (t *wbTable) get(xpl mem.Addr) *wbEntry {
+	key := uint64(xpl) | 1
+	mask := len(t.keys) - 1
+	for i := t.slot(key); ; i = (i + 1) & mask {
+		k := t.keys[i]
+		if k == key {
+			return t.vals[i]
+		}
+		if k == 0 {
+			return nil
+		}
+	}
+}
+
+func (t *wbTable) put(xpl mem.Addr, e *wbEntry) {
+	key := uint64(xpl) | 1
+	mask := len(t.keys) - 1
+	for i := t.slot(key); ; i = (i + 1) & mask {
+		k := t.keys[i]
+		if k == key {
+			if t.vals[i] == nil {
+				t.live++
+			}
+			t.vals[i] = e
+			return
+		}
+		if k == 0 {
+			t.keys[i] = key
+			t.vals[i] = e
+			t.live++
+			t.used++
+			if t.used*2 >= len(t.keys) {
+				t.rebuild()
+			}
+			return
+		}
+	}
+}
+
+// del removes and returns xpl's entry, or nil if absent.
+func (t *wbTable) del(xpl mem.Addr) *wbEntry {
+	key := uint64(xpl) | 1
+	mask := len(t.keys) - 1
+	for i := t.slot(key); ; i = (i + 1) & mask {
+		k := t.keys[i]
+		if k == key {
+			e := t.vals[i]
+			if e != nil {
+				t.vals[i] = nil
+				t.live--
+			}
+			return e
+		}
+		if k == 0 {
+			return nil
+		}
+	}
+}
+
+// rebuild re-inserts live entries into a table sized so occupancy is at
+// most a quarter, discarding tombstones.
+func (t *wbTable) rebuild() {
+	slots := wbInitialSlots
+	for slots < 4*(t.live+1) {
+		slots *= 2
+	}
+	oldKeys, oldVals := t.keys, t.vals
+	t.init(slots)
+	mask := slots - 1
+	for i, k := range oldKeys {
+		if k == 0 || oldVals[i] == nil {
+			continue
+		}
+		for j := t.slot(k); ; j = (j + 1) & mask {
+			if t.keys[j] == 0 {
+				t.keys[j] = k
+				t.vals[j] = oldVals[i]
+				break
+			}
+		}
+		t.live++
+		t.used++
+	}
+}

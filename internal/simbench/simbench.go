@@ -1,0 +1,100 @@
+// Package simbench holds the simulator-core microbenchmark bodies: tight
+// loops over the per-operation hot path in internal/machine (loads,
+// stores, flush+fence persist sequences, and multi-thread baton passing).
+// The bodies are plain exported functions taking *testing.B so they can
+// be driven both as go-test benchmarks (internal/simbench's
+// BenchmarkSimCore* wrappers) and programmatically by cmd/benchjson via
+// testing.Benchmark, which is how CI produces the BENCH_simcore.json
+// perf-trajectory artifact.
+//
+// Every body measures HOST throughput of the simulator, never simulated
+// time: the cycle model is pinned by the golden and determinism tests,
+// and these benchmarks exist to keep wall-clock ops/sec from regressing.
+package simbench
+
+import (
+	"testing"
+
+	"optanesim/internal/machine"
+	"optanesim/internal/mem"
+)
+
+// workingLines is the benchmark working set in cachelines. 256 lines =
+// 16 KB, comfortably inside both generations' L1d, so after the first
+// pass every load and store is a hot cache hit and the benchmark times
+// the op-dispatch path itself rather than the memory model.
+const workingLines = 256
+
+// line returns the i-th working-set line address in PM.
+func line(i int) mem.Addr {
+	return mem.PMBase + mem.Addr((i%workingLines)*mem.CachelineSize)
+}
+
+// Load measures hot cacheable loads on a single thread: the
+// schedule/readPath/advance path with every access an L1 hit after the
+// first lap of the working set.
+func Load(b *testing.B) {
+	sys := machine.MustNewSystem(machine.G1Config(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.Go("bench-load", 0, false, func(t *machine.Thread) {
+		for i := 0; i < b.N; i++ {
+			t.Load(line(i))
+		}
+	})
+	sys.Run()
+}
+
+// Store measures hot cacheable stores on a single thread: write-allocate
+// hits in L1 once the working set is resident.
+func Store(b *testing.B) {
+	sys := machine.MustNewSystem(machine.G1Config(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.Go("bench-store", 0, false, func(t *machine.Thread) {
+		for i := 0; i < b.N; i++ {
+			t.Store(line(i))
+		}
+	})
+	sys.Run()
+}
+
+// FlushFence measures the §4.2 persist loop — store, clwb, sfence — the
+// sequence every persistent index issues per durable update. It
+// exercises the flush bookkeeping (pending/flushRing), the WPQ model,
+// and fence draining.
+func FlushFence(b *testing.B) {
+	sys := machine.MustNewSystem(machine.G1Config(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.Go("bench-persist", 0, false, func(t *machine.Thread) {
+		for i := 0; i < b.N; i++ {
+			a := line(i)
+			t.Store(a)
+			t.CLWB(a)
+			t.SFence()
+		}
+	})
+	sys.Run()
+}
+
+// MultiThread measures the min-time scheduler's baton passing: two
+// threads on separate cores issue hot loads, so every operation boundary
+// is a potential handoff. ns/op is per operation summed over both
+// threads.
+func MultiThread(b *testing.B) {
+	sys := machine.MustNewSystem(machine.G1Config(2))
+	n := b.N/2 + 1
+	body := func(base mem.Addr) func(*machine.Thread) {
+		return func(t *machine.Thread) {
+			for i := 0; i < n; i++ {
+				t.Load(base + mem.Addr((i%workingLines)*mem.CachelineSize))
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.Go("bench-mt0", 0, false, body(mem.PMBase))
+	sys.Go("bench-mt1", 1, false, body(mem.PMBase+workingLines*mem.CachelineSize))
+	sys.Run()
+}

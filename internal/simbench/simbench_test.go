@@ -1,0 +1,101 @@
+package simbench
+
+import (
+	"testing"
+
+	"optanesim/internal/machine"
+)
+
+// The BenchmarkSimCore* wrappers expose the shared bodies to `go test
+// -bench SimCore`; cmd/benchjson runs the same bodies via
+// testing.Benchmark so the CI artifact and local runs measure identical
+// code.
+
+func BenchmarkSimCoreLoad(b *testing.B)        { Load(b) }
+func BenchmarkSimCoreStore(b *testing.B)       { Store(b) }
+func BenchmarkSimCoreFlushFence(b *testing.B)  { FlushFence(b) }
+func BenchmarkSimCoreMultiThread(b *testing.B) { MultiThread(b) }
+
+// TestHotPathAllocs pins the tentpole's zero-allocation guarantee: once
+// a single-thread workload reaches steady state, the Load, Store,
+// CLWB+SFence, and NTStore+SFence paths must not allocate. The
+// measurement runs inside the thread body — legal because a
+// single-thread system executes its workload inline on the calling
+// goroutine — so testing.AllocsPerRun sees exactly the per-op path with
+// no per-Run setup in the way.
+func TestHotPathAllocs(t *testing.T) {
+	sys := machine.MustNewSystem(machine.G1Config(1))
+	type probe struct {
+		name string
+		ops  func(th *machine.Thread)
+	}
+	var got map[string]float64
+	sys.Go("alloc-probe", 0, false, func(th *machine.Thread) {
+		i := 0
+		probes := []probe{
+			{"Load", func(th *machine.Thread) {
+				for k := 0; k < 64; k++ {
+					th.Load(line(i))
+					i++
+				}
+			}},
+			{"Store", func(th *machine.Thread) {
+				for k := 0; k < 64; k++ {
+					th.Store(line(i))
+					i++
+				}
+			}},
+			{"CLWB+SFence", func(th *machine.Thread) {
+				for k := 0; k < 8; k++ {
+					a := line(i)
+					th.Store(a)
+					th.CLWB(a)
+					th.SFence()
+					i++
+				}
+			}},
+			{"NTStore+SFence", func(th *machine.Thread) {
+				for k := 0; k < 8; k++ {
+					th.NTStore(line(i))
+					th.SFence()
+					i++
+				}
+			}},
+			{"Tagged Load", func(th *machine.Thread) {
+				th.SetTag("probe")
+				for k := 0; k < 64; k++ {
+					th.Load(line(i))
+					i++
+				}
+				th.SetTag("")
+			}},
+		}
+		// Warm up: grow pending/flushRing to capacity, populate caches,
+		// WPQ rings, and hazard map to steady-state size.
+		for k := 0; k < 4*workingLines; k++ {
+			a := line(i)
+			th.Store(a)
+			th.CLWB(a)
+			th.SFence()
+			th.NTStore(a)
+			th.SFence()
+			th.Load(a)
+			i++
+		}
+		got = make(map[string]float64, len(probes))
+		for _, p := range probes {
+			p := p
+			got[p.name] = testing.AllocsPerRun(50, func() { p.ops(th) })
+		}
+	})
+	sys.Run()
+	for name, allocs := range got {
+		if allocs != 0 {
+			t.Errorf("steady-state %s path allocates: %.1f allocs per batch (want 0)", name, allocs)
+		}
+	}
+	// The probes above must have actually executed.
+	if len(got) == 0 {
+		t.Fatal("alloc probes did not run")
+	}
+}
