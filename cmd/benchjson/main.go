@@ -67,6 +67,10 @@ func main() {
 		{"SimCoreStore", simbench.Store},
 		{"SimCoreFlushFence", simbench.FlushFence},
 		{"SimCoreMultiThread", simbench.MultiThread},
+		// Telemetry-on variants: the delta against their plain
+		// counterparts is the recording overhead's trajectory.
+		{"SimCoreLoadTelemetry", simbench.LoadTelemetry},
+		{"SimCoreFlushFenceTelemetry", simbench.FlushFenceTelemetry},
 	}
 
 	doc := document{

@@ -5,7 +5,10 @@
 // Usage:
 //
 //	optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going]
-//	         [-cpuprofile f] [-memprofile f] <experiment>...
+//	         [-cpuprofile f] [-memprofile f] [-progress]
+//	         [-trace-out f] [-events-out f] [-sample-out f]
+//	         [-sample-every N] [-event-cap N] [-telemetry-addr a]
+//	         <experiment>...
 //
 // where experiment is one of: fig2 fig3 fig4 fig6 fig7 fig8 table1
 // fig10 fig12 fig13 fig14 ablation bandwidth ycsb sec33 latency indexes
@@ -18,6 +21,14 @@
 // the structured records written as <dir>/<experiment>.jsonl — is
 // deterministic and byte-identical for every -j value; only the
 // wall-clock lines differ.
+//
+// The telemetry flags record the simulator's introspection layer (see
+// internal/telemetry): -trace-out exports a Chrome trace-event timeline
+// loadable in Perfetto, -events-out and -sample-out write the raw event
+// stream and gauge time-series as JSON lines, and -telemetry-addr serves
+// live /metrics plus /debug/pprof while the sweep runs. All recorded
+// output is deterministic across -j values; -progress lines (stderr,
+// completion order) and the live endpoint are the only unordered output.
 package main
 
 import (
@@ -79,7 +90,7 @@ func main() {
 	// Flatten every selected experiment's units into one task list so
 	// the pool stays busy across experiment boundaries, remembering
 	// which result slots belong to which experiment.
-	opts := bench.Options{Quick: *quick}
+	opts := bench.Options{Quick: *quick, Telemetry: telemetryFactory()}
 	var tasks []runner.Task
 	slots := make(map[string][]int, len(run))
 	for _, name := range run {
@@ -94,12 +105,18 @@ func main() {
 		}
 	}
 
-	start := time.Now()
-	results := runner.RunConfig(tasks, runner.Config{
+	live, stopLive := startLive(*jobs, len(tasks))
+	defer stopLive()
+
+	runCfg := runner.Config{
 		Workers:   *jobs,
 		Timeout:   *timeout,
 		KeepGoing: *keepGoing,
-	})
+	}
+	runnerHooks(&runCfg, live)
+
+	start := time.Now()
+	results := runner.RunConfig(tasks, runCfg)
 
 	// Report in the deterministic submission order, not completion
 	// order.
@@ -134,6 +151,12 @@ func main() {
 			}
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, runner.Wall(expResults).Round(time.Millisecond))
+	}
+	if telemetryEnabled() {
+		if err := writeTelemetrySinks(harvestRecordings(run, slots, results)); err != nil {
+			fmt.Fprintf(os.Stderr, "optbench: %v\n", err)
+			failed = true
+		}
 	}
 	fmt.Printf("[total: %d experiments, %d units, -j %d, %v]\n",
 		len(run), len(tasks), *jobs, time.Since(start).Round(time.Millisecond))
@@ -209,6 +232,6 @@ func writeJSONL(dir, name string, results []bench.UnitResult) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] [-cpuprofile f] [-memprofile f] <experiment>...\nexperiments: %v all\n",
+	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] [-cpuprofile f] [-memprofile f] [-progress] [-trace-out f] [-events-out f] [-sample-out f] [-sample-every N] [-event-cap N] [-telemetry-addr a] <experiment>...\nexperiments: %v all\n",
 		bench.ExperimentNames())
 }

@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	pmsim workload.pmsim
+//	pmsim [-trace-out f] [-events-out f] [-sample-out f] [-sample-every N] workload.pmsim
 //	pmsim -            # read the script from stdin
 //	pmsim -crashmatrix # run the power-failure injection matrix instead
+//
+// The telemetry flags record the run's introspection layer (see
+// internal/telemetry): -trace-out writes a Chrome trace-event timeline
+// (loadable in Perfetto), -events-out the raw event stream and
+// -sample-out the gauge time-series, both as JSON lines.
 //
 // Example script:
 //
@@ -36,11 +41,17 @@ import (
 	"optanesim/internal/bench"
 	"optanesim/internal/runner"
 	"optanesim/internal/script"
+	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
 )
 
 var (
 	crashMatrix = flag.Bool("crashmatrix", false, "run the power-failure injection matrix over all persistent indexes")
 	quick       = flag.Bool("quick", false, "with -crashmatrix: reduced-scale traces")
+	traceOut    = flag.String("trace-out", "", "write a Chrome trace-event timeline of the run to this file")
+	eventsOut   = flag.String("events-out", "", "write the structured event stream as JSON lines to this file")
+	samplesOut  = flag.String("sample-out", "", "write the gauge time-series as JSON lines to this file")
+	sampleEvery = flag.Int64("sample-every", int64(telemetry.DefaultSampleEvery), "simulated cycles between gauge samples")
 )
 
 func main() {
@@ -71,10 +82,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pmsim:", err)
 		os.Exit(1)
 	}
-	res, err := script.Run(prog)
+	var rec *telemetry.Recorder
+	if *traceOut != "" || *eventsOut != "" || *samplesOut != "" {
+		name := flag.Arg(0)
+		if name == "-" {
+			name = "stdin"
+		}
+		rec = telemetry.NewRecorder(name, telemetry.Config{SampleEvery: sim.Cycles(*sampleEvery)})
+	}
+	res, err := script.RunRecorded(prog, rec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmsim:", err)
 		os.Exit(1)
+	}
+	if rec != nil {
+		if err := writeTelemetry(rec.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "pmsim:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("simulated %d cycles\n\n", res.EndCycles)
 	for _, t := range res.Threads {
@@ -83,6 +108,43 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(res.Report)
+}
+
+// writeTelemetry exports the run's recording to every requested sink.
+func writeTelemetry(rec *telemetry.Recording) error {
+	writeTo := func(path string, write func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, func(f *os.File) error {
+			return telemetry.WriteChromeTrace(f, rec)
+		}); err != nil {
+			return err
+		}
+	}
+	if *eventsOut != "" {
+		if err := writeTo(*eventsOut, func(f *os.File) error {
+			return telemetry.WriteEventsJSONL(f, rec)
+		}); err != nil {
+			return err
+		}
+	}
+	if *samplesOut != "" {
+		if err := writeTo(*samplesOut, func(f *os.File) error {
+			return telemetry.WriteSamplesJSONL(f, rec)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runCrashMatrix executes the crashmatrix experiment units on the

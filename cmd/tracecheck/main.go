@@ -1,0 +1,85 @@
+// Command tracecheck validates a Chrome trace-event file produced by
+// optbench/pmsim -trace-out: it parses the JSON, checks the structural
+// invariants the exporter guarantees (metadata before data, monotone
+// timestamps per track), and optionally asserts that named event types
+// appear. CI uses it to keep the telemetry export loadable in Perfetto.
+//
+// Usage:
+//
+//	tracecheck [-require name1,name2,...] trace.json
+//
+// Exit status is non-zero if the file is not a valid trace or a required
+// event name is absent.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"optanesim/internal/telemetry"
+)
+
+var require = flag.String("require", "", "comma-separated event names that must appear at least once")
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require name1,name2,...] trace.json")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	n, err := telemetry.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	names, err := telemetry.EventNames(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if *require != "" {
+		var missing []string
+		for _, want := range strings.Split(*require, ",") {
+			want = strings.TrimSpace(want)
+			if want == "" {
+				continue
+			}
+			if names[want] == 0 {
+				missing = append(missing, want)
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: missing required events: %s\n",
+				path, strings.Join(missing, ", "))
+			fmt.Fprintf(os.Stderr, "tracecheck: present: %s\n", formatNames(names))
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("tracecheck: %s: %d events OK (%s)\n", path, n, formatNames(names))
+}
+
+// formatNames renders the name histogram deterministically.
+func formatNames(names map[string]int) string {
+	keys := make([]string, 0, len(names))
+	for k := range names {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, names[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -4,6 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"optanesim/internal/machine"
+	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
 )
 
 // Options selects the scale of a registry-driven experiment run. The
@@ -12,6 +16,11 @@ import (
 type Options struct {
 	// Quick runs each experiment at reduced scale (smoke-test sized).
 	Quick bool
+	// Telemetry, when non-nil, supplies a per-unit recorder: instrumented
+	// experiments attach it to every machine system they build and hand
+	// the frozen Recording back in UnitResult.Telemetry. The factory is
+	// called from the unit's own goroutine, once per unit.
+	Telemetry func(unit string) *telemetry.Recorder
 }
 
 // scale picks the full or reduced value of a knob.
@@ -57,6 +66,58 @@ type UnitResult struct {
 	Data       any    `json:"data"`
 	// Text is the rendering optbench prints; excluded from JSON.
 	Text string `json:"-"`
+	// Telemetry is the unit's frozen recording when Options.Telemetry was
+	// set and the experiment is instrumented; nil otherwise. Excluded
+	// from JSON so -json output is byte-identical with telemetry on.
+	Telemetry *telemetry.Recording `json:"-"`
+	// SimCycles totals the simulated cycles of the unit's machine runs
+	// (0 for experiments without a meter). Excluded from JSON.
+	SimCycles sim.Cycles `json:"-"`
+}
+
+// Meter threads one unit's telemetry through the machine systems it
+// builds: experiments route every sys.Run() through Meter.Run, which
+// attaches the recorder (when telemetry is on) and accumulates simulated
+// cycles. A nil *Meter is valid and just runs the system, so direct
+// library callers (Fig2(Fig2Options{...}) etc.) need not construct one.
+type Meter struct {
+	// Rec is the unit's recorder, nil when telemetry is off.
+	Rec *telemetry.Recorder
+	// SimCycles accumulates the end times of every metered run.
+	SimCycles sim.Cycles
+}
+
+// meter builds the unit's Meter, consulting the Telemetry factory.
+func (o Options) meter(unitID string) *Meter {
+	m := &Meter{}
+	if o.Telemetry != nil {
+		m.Rec = o.Telemetry(unitID)
+	}
+	return m
+}
+
+// Run executes sys to completion under the meter (nil-safe).
+func (m *Meter) Run(sys *machine.System) sim.Cycles {
+	if m == nil {
+		return sys.Run()
+	}
+	if m.Rec != nil {
+		sys.AttachTelemetry(m.Rec)
+	}
+	end := sys.Run()
+	m.SimCycles += end
+	return end
+}
+
+// finish stamps the meter's accumulated state into the unit result.
+func (m *Meter) finish(ur *UnitResult) {
+	if m == nil {
+		return
+	}
+	ur.SimCycles = m.SimCycles
+	if m.Rec != nil {
+		ur.Telemetry = m.Rec.Snapshot()
+	}
 }
 
 // experimentSpec ties a registry name to its unit constructor.

@@ -30,6 +30,8 @@ type Fig13Options struct {
 	WSS []int
 	// MaxVisits caps the number of block visits per cell.
 	MaxVisits int
+	// Meter, when non-nil, threads telemetry through every system run.
+	Meter *Meter
 }
 
 func (o *Fig13Options) defaults() {
@@ -51,8 +53,8 @@ func Fig13(o Fig13Options) []Fig13Point {
 	o.defaults()
 	points := make([]Fig13Point, 0, len(o.WSS))
 	for _, wss := range o.WSS {
-		base := fig13Run(o.Gen, wss, o.MaxVisits, false)
-		opt := fig13Run(o.Gen, wss, o.MaxVisits, true)
+		base := fig13Run(o.Gen, wss, o.MaxVisits, false, o.Meter)
+		opt := fig13Run(o.Gen, wss, o.MaxVisits, true, o.Meter)
 		points = append(points, Fig13Point{
 			WSSBytes: wss,
 			IMCRatio: base.IMCReadRatio(), PMRatio: base.PMReadRatio(),
@@ -62,7 +64,7 @@ func Fig13(o Fig13Options) []Fig13Point {
 	return points
 }
 
-func fig13Run(gen Gen, wss, maxVisits int, optimized bool) trace.Counters {
+func fig13Run(gen Gen, wss, maxVisits int, optimized bool, m *Meter) trace.Counters {
 	cfg := gen.Config(1)
 	sys := machine.MustNewSystem(cfg)
 	nBlocks := wss / mem.XPLineSize
@@ -95,7 +97,7 @@ func fig13Run(gen Gen, wss, maxVisits int, optimized bool) trace.Counters {
 		sys.ResetCounters()
 		run(visits)
 	})
-	sys.Run()
+	m.Run(sys)
 	return sys.PMCounters()
 }
 
@@ -105,11 +107,14 @@ func fig13Units(o Options) []Unit {
 	for _, gen := range []Gen{G1, G2} {
 		gen := gen
 		units = append(units, Unit{Experiment: "fig13", Name: gen.String(), Run: func() UnitResult {
-			pts := Fig13(Fig13Options{Gen: gen, MaxVisits: o.scale(40000, 10000)})
-			return UnitResult{
+			m := o.meter("fig13/" + gen.String())
+			pts := Fig13(Fig13Options{Gen: gen, MaxVisits: o.scale(40000, 10000), Meter: m})
+			ur := UnitResult{
 				Experiment: "fig13", Unit: gen.String(), Data: pts,
 				Text: FormatFig13(gen, pts),
 			}
+			m.finish(&ur)
+			return ur
 		}})
 	}
 	return units

@@ -26,6 +26,8 @@ type Fig2Options struct {
 	// Passes is the number of measured full passes over the working set
 	// per CpX configuration.
 	Passes int
+	// Meter, when non-nil, threads telemetry through every system run.
+	Meter *Meter
 }
 
 func (o *Fig2Options) defaults() {
@@ -52,7 +54,7 @@ func Fig2(o Fig2Options) []Fig2Point {
 		var p Fig2Point
 		p.WSSBytes = wss
 		for cpx := 1; cpx <= mem.LinesPerXPLine; cpx++ {
-			p.RA[cpx-1] = fig2Run(o.Gen, wss, cpx, o.Passes)
+			p.RA[cpx-1] = fig2Run(o.Gen, wss, cpx, o.Passes, o.Meter)
 		}
 		points = append(points, p)
 	}
@@ -60,7 +62,7 @@ func Fig2(o Fig2Options) []Fig2Point {
 }
 
 // fig2Run measures RA for one (wss, cpx) cell.
-func fig2Run(gen Gen, wss, cpx, passes int) float64 {
+func fig2Run(gen Gen, wss, cpx, passes int, m *Meter) float64 {
 	sys := machine.MustNewSystem(gen.Config(1))
 	nXPLines := wss / mem.XPLineSize
 	if nXPLines == 0 {
@@ -87,7 +89,7 @@ func fig2Run(gen Gen, wss, cpx, passes int) float64 {
 			onePass(t)
 		}
 	})
-	sys.Run()
+	m.Run(sys)
 	return sys.PMCounters().RA()
 }
 
@@ -97,11 +99,14 @@ func fig2Units(o Options) []Unit {
 	for _, gen := range []Gen{G1, G2} {
 		gen := gen
 		units = append(units, Unit{Experiment: "fig2", Name: gen.String(), Run: func() UnitResult {
-			pts := Fig2(Fig2Options{Gen: gen, Passes: o.scale(8, 3)})
-			return UnitResult{
+			m := o.meter("fig2/" + gen.String())
+			pts := Fig2(Fig2Options{Gen: gen, Passes: o.scale(8, 3), Meter: m})
+			ur := UnitResult{
 				Experiment: "fig2", Unit: gen.String(), Data: pts,
 				Text: fmt.Sprintf("[%s] %s", gen, FormatFig2(pts)),
 			}
+			m.finish(&ur)
+			return ur
 		}})
 	}
 	return units

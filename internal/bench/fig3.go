@@ -28,6 +28,8 @@ type Fig3Options struct {
 	// RandomOrder shuffles the across-XPLine visit order. The paper
 	// finds WA independent of it; both orders are exposed for tests.
 	RandomOrder bool
+	// Meter, when non-nil, threads telemetry through every system run.
+	Meter *Meter
 }
 
 func (o *Fig3Options) defaults() {
@@ -52,14 +54,14 @@ func Fig3(o Fig3Options) []Fig3Point {
 		var p Fig3Point
 		p.WSSBytes = wss
 		for lines := 1; lines <= mem.LinesPerXPLine; lines++ {
-			p.WA[lines-1] = fig3Run(o.Gen, wss, lines, o.Passes, o.RandomOrder)
+			p.WA[lines-1] = fig3Run(o.Gen, wss, lines, o.Passes, o.RandomOrder, o.Meter)
 		}
 		points = append(points, p)
 	}
 	return points
 }
 
-func fig3Run(gen Gen, wss, linesPerXPL, passes int, random bool) float64 {
+func fig3Run(gen Gen, wss, linesPerXPL, passes int, random bool, m *Meter) float64 {
 	sys := machine.MustNewSystem(gen.Config(1))
 	nXPLines := wss / mem.XPLineSize
 	if nXPLines == 0 {
@@ -95,7 +97,7 @@ func fig3Run(gen Gen, wss, linesPerXPL, passes int, random bool) float64 {
 		t.Compute(4 * 5000)
 		t.NTStore(base) // touch the DIMM so lazy write-back runs
 	})
-	sys.Run()
+	m.Run(sys)
 	c := sys.PMCounters()
 	// Exclude the single drain-touch write from the denominator.
 	c.IMCWriteBytes -= mem.CachelineSize
@@ -108,11 +110,14 @@ func fig3Units(o Options) []Unit {
 	for _, gen := range []Gen{G1, G2} {
 		gen := gen
 		units = append(units, Unit{Experiment: "fig3", Name: gen.String(), Run: func() UnitResult {
-			pts := Fig3(Fig3Options{Gen: gen, Passes: o.scale(12, 4)})
-			return UnitResult{
+			m := o.meter("fig3/" + gen.String())
+			pts := Fig3(Fig3Options{Gen: gen, Passes: o.scale(12, 4), Meter: m})
+			ur := UnitResult{
 				Experiment: "fig3", Unit: gen.String(), Data: pts,
 				Text: fmt.Sprintf("[%s] %s", gen, FormatFig3(pts)),
 			}
+			m.finish(&ur)
+			return ur
 		}})
 	}
 	return units

@@ -22,6 +22,8 @@ type Fig4Options struct {
 	WSS []int
 	// Writes is the number of measured random partial writes per cell.
 	Writes int
+	// Meter, when non-nil, threads telemetry through every system run.
+	Meter *Meter
 }
 
 func (o *Fig4Options) defaults() {
@@ -44,14 +46,14 @@ func Fig4(o Fig4Options) []Fig4Point {
 	for _, wss := range o.WSS {
 		p := Fig4Point{WSSBytes: wss, HitRatio: make(map[Gen]float64, 2)}
 		for _, gen := range []Gen{G1, G2} {
-			p.HitRatio[gen] = fig4Run(gen, wss, o.Writes)
+			p.HitRatio[gen] = fig4Run(gen, wss, o.Writes, o.Meter)
 		}
 		points = append(points, p)
 	}
 	return points
 }
 
-func fig4Run(gen Gen, wss, writes int) float64 {
+func fig4Run(gen Gen, wss, writes int, m *Meter) float64 {
 	sys := machine.MustNewSystem(gen.Config(1))
 	nXPLines := wss / mem.XPLineSize
 	if nXPLines == 0 {
@@ -80,7 +82,7 @@ func fig4Run(gen Gen, wss, writes int) float64 {
 		}
 		t.SFence()
 	})
-	sys.Run()
+	m.Run(sys)
 	return sys.PMCounters().WriteBufferHitRatio()
 }
 
@@ -88,8 +90,11 @@ func fig4Run(gen Gen, wss, writes int) float64 {
 // inside one sweep).
 func fig4Units(o Options) []Unit {
 	return []Unit{{Experiment: "fig4", Run: func() UnitResult {
-		pts := Fig4(Fig4Options{Writes: o.scale(20000, 5000)})
-		return UnitResult{Experiment: "fig4", Data: pts, Text: FormatFig4(pts)}
+		m := o.meter("fig4")
+		pts := Fig4(Fig4Options{Writes: o.scale(20000, 5000), Meter: m})
+		ur := UnitResult{Experiment: "fig4", Data: pts, Text: FormatFig4(pts)}
+		m.finish(&ur)
+		return ur
 	}}}
 }
 

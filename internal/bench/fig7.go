@@ -53,6 +53,8 @@ type Fig7Options struct {
 	Distances []int
 	// Passes is the number of measured passes over the 4 KB working set.
 	Passes int
+	// Meter, when non-nil, threads telemetry through every system run.
+	Meter *Meter
 }
 
 func (o *Fig7Options) defaults() {
@@ -80,13 +82,13 @@ func Fig7(o Fig7Options) []Fig7Point {
 	for _, d := range o.Distances {
 		points = append(points, Fig7Point{
 			Distance: d,
-			Cycles:   fig7Run(o.Gen, o.Variant, o.PM, o.Remote, d, o.Passes),
+			Cycles:   fig7Run(o.Gen, o.Variant, o.PM, o.Remote, d, o.Passes, o.Meter),
 		})
 	}
 	return points
 }
 
-func fig7Run(gen Gen, variant RAPVariant, pm, remote bool, distance, passes int) float64 {
+func fig7Run(gen Gen, variant RAPVariant, pm, remote bool, distance, passes int, m *Meter) float64 {
 	cfg := gen.Config(1)
 	// The latency probe runs with CPU prefetchers disabled: its read
 	// stream is sequential, and prefetching would hide exactly the
@@ -136,7 +138,7 @@ func fig7Run(gen Gen, variant RAPVariant, pm, remote bool, distance, passes int)
 		}
 		perIter = float64(t.Now()-start) / float64(iters)
 	})
-	sys.Run()
+	m.Run(sys)
 	return perIter
 }
 
@@ -199,15 +201,20 @@ func fig7Units(o Options) []Unit {
 			gen, cell := gen, cell
 			name := fig7PanelName(gen, cell.pm, cell.remote)
 			units = append(units, Unit{Experiment: "fig7", Name: name, Run: func() UnitResult {
-				curves := Fig7Curves(gen, cell.pm, cell.remote, opts)
+				cellOpts := opts
+				m := o.meter("fig7/" + name)
+				cellOpts.Meter = m
+				curves := Fig7Curves(gen, cell.pm, cell.remote, cellOpts)
 				ordered := make([]Fig7Curve, 0, len(curves))
 				for _, v := range Fig7Variants(cell.pm) {
 					ordered = append(ordered, Fig7Curve{Variant: v.String(), Points: curves[v]})
 				}
-				return UnitResult{
+				ur := UnitResult{
 					Experiment: "fig7", Unit: name, Data: ordered,
 					Text: FormatFig7Panel(gen, cell.pm, cell.remote, curves),
 				}
+				m.finish(&ur)
+				return ur
 			}})
 		}
 	}

@@ -32,7 +32,10 @@ type Sec33Result struct {
 }
 
 // Sec33 runs both §3.3 experiments on G1.
-func Sec33() Sec33Result {
+func Sec33() Sec33Result { return sec33Run(nil) }
+
+// sec33Run is Sec33 with telemetry threaded through its three systems.
+func sec33Run(m *Meter) Sec33Result {
 	var r Sec33Result
 
 	// --- Separation: interleaved accesses.
@@ -61,7 +64,7 @@ func Sec33() Sec33Result {
 				pass()
 			}
 		})
-		sys.Run()
+		m.Run(sys)
 		c := sys.PMCounters()
 		r.InterleavedRA = c.RA()
 		r.InterleavedMediaWr = c.MediaWriteBytes
@@ -99,7 +102,7 @@ func Sec33() Sec33Result {
 				passWrite()
 			}
 		})
-		sys.Run()
+		m.Run(sys)
 		c := sys.PMCounters()
 		r.BaselineRA = c.RA()
 		r.BaselineMediaWr = c.MediaWriteBytes
@@ -128,7 +131,7 @@ func Sec33() Sec33Result {
 				pass()
 			}
 		})
-		sys.Run()
+		m.Run(sys)
 		c := sys.PMCounters()
 		r.TransitionMediaRead = c.MediaReadBytes
 		r.TransitionIMCRead = c.IMCReadBytes
@@ -139,10 +142,13 @@ func Sec33() Sec33Result {
 }
 
 // sec33Units returns the experiment's single unit.
-func sec33Units(Options) []Unit {
+func sec33Units(o Options) []Unit {
 	return []Unit{{Experiment: "sec33", Run: func() UnitResult {
-		r := Sec33()
-		return UnitResult{Experiment: "sec33", Data: r, Text: FormatSec33(r)}
+		m := o.meter("sec33")
+		r := sec33Run(m)
+		ur := UnitResult{Experiment: "sec33", Data: r, Text: FormatSec33(r)}
+		m.finish(&ur)
+		return ur
 	}}}
 }
 

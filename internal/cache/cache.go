@@ -11,6 +11,7 @@ import (
 
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
 )
 
 // Config describes one cache level.
@@ -100,6 +101,13 @@ type Cache struct {
 	occupied int
 
 	hits, misses uint64
+	// predHits/predMisses split the lookups by way-predictor outcome
+	// (direct probe hit vs set-scan fallback).
+	predHits, predMisses uint64
+
+	// tel, when non-nil, receives fill/eviction events; nil keeps the
+	// disabled path to a single pointer test.
+	tel *telemetry.Probe
 }
 
 // predSlots sizes the way predictor (predMask indexes it). 1024 slots
@@ -172,6 +180,7 @@ func (c *Cache) Lookup(addr mem.Addr) *Line {
 		c.tick++
 		l.lastUse = c.tick
 		c.hits++
+		c.predHits++
 		return l
 	}
 	return c.lookupSlow(la, uint64(la)|1)
@@ -197,10 +206,12 @@ func (c *Cache) Touch(l *Line) {
 	c.tick++
 	l.lastUse = c.tick
 	c.hits++
+	c.predHits++
 }
 
 // lookupSlow is Lookup's set-scan fallback on a predictor miss.
 func (c *Cache) lookupSlow(la mem.Addr, key uint64) *Line {
+	c.predMisses++
 	if c.occupied == 0 {
 		c.misses++
 		return nil
@@ -287,8 +298,18 @@ func (c *Cache) Insert(addr mem.Addr, dirty, prefetched bool, readyAt sim.Cycles
 		}
 		victim = Victim{Addr: set[slot].addr, Dirty: set[slot].Dirty}
 		evicted = true
+		if c.tel != nil {
+			var dirtyArg uint64
+			if victim.Dirty {
+				dirtyArg = 1
+			}
+			c.tel.Emit(readyAt, telemetry.KindCacheEvict, victim.Addr, dirtyArg)
+		}
 	} else {
 		c.occupied++
+	}
+	if c.tel != nil {
+		c.tel.Emit(readyAt, telemetry.KindCacheFill, la, 0)
 	}
 	set[slot] = Line{
 		addr:       la,
@@ -335,6 +356,13 @@ func (c *Cache) Invalidate(addr mem.Addr) (present, dirty bool) {
 // Stats reports accumulated hits and misses.
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
 
+// PredStats reports lookups resolved by the way predictor's direct probe
+// versus ones that fell back to the set scan.
+func (c *Cache) PredStats() (hits, misses uint64) { return c.predHits, c.predMisses }
+
+// SetTelemetry attaches (or, with nil, detaches) the level's event probe.
+func (c *Cache) SetTelemetry(p *telemetry.Probe) { c.tel = p }
+
 // Reset invalidates every line and clears statistics.
 func (c *Cache) Reset() {
 	for i := range c.ways {
@@ -342,5 +370,6 @@ func (c *Cache) Reset() {
 		c.tags[i] = 0
 	}
 	c.tick, c.hits, c.misses = 0, 0, 0
+	c.predHits, c.predMisses = 0, 0
 	c.occupied = 0
 }

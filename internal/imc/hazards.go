@@ -25,8 +25,8 @@ type hazardTable struct {
 	// chains stay intact.
 	keys  []uint64
 	vals  []sim.Cycles
-	live  int // entries visible to get (= old map's len)
-	used  int // occupied slots including tombstones (growth trigger)
+	live  int  // entries visible to get (= old map's len)
+	used  int  // occupied slots including tombstones (growth trigger)
 	shift uint // 64 - log2(len(keys))
 }
 

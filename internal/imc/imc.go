@@ -10,6 +10,7 @@ import (
 
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
 	"optanesim/internal/trace"
 )
 
@@ -120,7 +121,17 @@ type Controller struct {
 	// clwb writebacks, nt-stores, and cache evictions all funnel through
 	// Write, an observer sees every transfer into the ADR domain.
 	writeObs func(addr mem.Addr, accept, landed sim.Cycles)
+
+	// tel, when non-nil, receives WPQ enqueue/drain and hazard-stall
+	// events; nil keeps the disabled path to a single pointer test.
+	tel *telemetry.Probe
+	// wpqPeak is the high-water occupancy across all WPQs.
+	wpqPeak int
 }
+
+// SetTelemetry attaches (or, with nil, detaches) the controller's event
+// probe.
+func (c *Controller) SetTelemetry(p *telemetry.Probe) { c.tel = p }
 
 // SetWriteObserver registers fn to observe every write's acceptance and
 // landing times (nil detaches).
@@ -156,13 +167,34 @@ func (c *Controller) route(addr mem.Addr) int {
 // Devices returns the controller's devices (for counter aggregation).
 func (c *Controller) Devices() []Device { return c.devs }
 
-// Counters sums traffic counters across the controller's devices.
+// Counters sums traffic counters across the controller's devices and
+// stamps in the controller's own WPQ occupancy peak.
 func (c *Controller) Counters() trace.Counters {
 	var total trace.Counters
 	for _, d := range c.devs {
 		total.Add(d.Counters())
 	}
+	total.WPQOccupancyPeak = uint64(c.wpqPeak)
 	return total
+}
+
+// WPQOccupancy reports how many writes are in flight (accepted but not
+// yet landed) across all of the controller's WPQs at time now. Entries
+// are popped lazily, so the ring is scanned against their landing times.
+func (c *Controller) WPQOccupancy(now sim.Cycles) int {
+	occ := 0
+	for _, q := range c.wpqs {
+		for i := 0; i < q.count; i++ {
+			idx := q.head + i
+			if idx >= len(q.land) {
+				idx -= len(q.land)
+			}
+			if q.land[idx] > now {
+				occ++
+			}
+		}
+	}
+	return occ
 }
 
 // Read issues a cacheline read at time now and returns its completion
@@ -172,6 +204,9 @@ func (c *Controller) Read(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles
 	line := addr.Line()
 	if hu, ok := c.hazards.get(line); ok {
 		if hu > now {
+			if c.tel != nil {
+				c.tel.Emit(now, telemetry.KindHazardStall, line, uint64(hu-now))
+			}
 			now = hu
 		} else {
 			c.hazards.remove(line)
@@ -196,6 +231,13 @@ func (c *Controller) Write(now sim.Cycles, addr mem.Addr) (accept, landed sim.Cy
 	start := sim.Max(accept, q.lastLand+c.cfg.DrainGapCycles)
 	landed = c.devs[idx].WriteLine(start, addr)
 	q.push(landed)
+	if q.count > c.wpqPeak {
+		c.wpqPeak = q.count
+	}
+	if c.tel != nil {
+		c.tel.Emit(accept, telemetry.KindWPQEnqueue, addr.Line(), uint64(q.count))
+		c.tel.Emit(landed, telemetry.KindWPQDrain, addr.Line(), 0)
+	}
 
 	line := addr.Line()
 	hazard := accept + c.devs[idx].RAPWindow()

@@ -3,6 +3,7 @@ package machine
 import (
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
 )
 
 // PersistKind enumerates the timed persistence events a System reports.
@@ -49,9 +50,19 @@ func (s *System) ObservePersist(fn func(PersistEvent)) {
 	})
 }
 
-// emitPersist forwards a thread-side event to the registered observer.
+// emitPersist forwards a thread-side event to the registered observer
+// and, with telemetry attached, onto the event stream. WPQ acceptances
+// are not re-emitted here — the PM controller's own probe records them
+// as wpq-enq events.
 func (s *System) emitPersist(e PersistEvent) {
 	if s.persistFn != nil {
 		s.persistFn(e)
+	}
+	if s.telProbe != nil {
+		k := telemetry.KindPersistStore
+		if e.Kind == PersistFence {
+			k = telemetry.KindPersistFence
+		}
+		s.telProbe.Emit(e.At, k, e.Line, uint64(e.Thread))
 	}
 }

@@ -8,6 +8,7 @@ package machine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"optanesim/internal/cache"
 	"optanesim/internal/dram"
@@ -16,6 +17,7 @@ import (
 	"optanesim/internal/optane"
 	"optanesim/internal/prefetch"
 	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
 	"optanesim/internal/trace"
 )
 
@@ -105,6 +107,12 @@ type System struct {
 	// persistFn, when non-nil, receives timed persistence events (see
 	// ObservePersist).
 	persistFn func(PersistEvent)
+
+	// rec/telProbe, when non-nil, route telemetry from this system (see
+	// AttachTelemetry). telProbe is the machine layer's own source;
+	// component probes live inside the components.
+	rec      *telemetry.Recorder
+	telProbe *telemetry.Probe
 }
 
 // NewSystem builds a testbed from cfg.
@@ -219,6 +227,108 @@ func (s *System) ResetCounters() {
 	s.dramDev.Counters().Reset()
 }
 
+// AttachTelemetry routes this system's decision-point events and sampled
+// gauges into rec: per-level cache fills/evictions, WPQ and hazard
+// traffic on the PM controller, on-DIMM buffer and media events, and
+// persistence milestones, plus gauges for WPQ depth, buffer occupancy,
+// PM read/write amplification, and the L1 way-predictor hit ratio.
+//
+// Call any time between NewSystem and Run (registered threads are wired
+// at Run start). A sweep unit running several systems in sequence
+// attaches the same recorder to each; probe identity and gauge series
+// continue across systems on one rebased unit timeline. Passing nil
+// detaches everything.
+func (s *System) AttachTelemetry(rec *telemetry.Recorder) {
+	s.rec = rec
+	if rec == nil {
+		s.telProbe = nil
+		s.l3.SetTelemetry(nil)
+		for _, c := range s.cores {
+			c.L1.SetTelemetry(nil)
+			c.L2.SetTelemetry(nil)
+		}
+		s.pmc.SetTelemetry(nil)
+		s.dramc.SetTelemetry(nil)
+		for _, d := range s.pmDIMMs {
+			d.SetTelemetry(nil)
+		}
+		return
+	}
+	s.telProbe = rec.Probe("machine")
+	s.l3.SetTelemetry(rec.Probe("L3"))
+	for i, c := range s.cores {
+		c.L1.SetTelemetry(rec.Probe(fmt.Sprintf("L1(core%d)", i)))
+		c.L2.SetTelemetry(rec.Probe(fmt.Sprintf("L2(core%d)", i)))
+	}
+	s.pmc.SetTelemetry(rec.Probe("imc-pm"))
+	s.dramc.SetTelemetry(rec.Probe("imc-dram"))
+	for i, d := range s.pmDIMMs {
+		d.SetTelemetry(rec.Probe(fmt.Sprintf("dimm%d", i)))
+	}
+
+	rec.RegisterGauge("wpq_occupancy", func(now sim.Cycles) float64 {
+		return float64(s.pmc.WPQOccupancy(now))
+	})
+	rec.RegisterGauge("read_buf_lines", func(now sim.Cycles) float64 {
+		n := 0
+		for _, d := range s.pmDIMMs {
+			n += d.ReadBufferLen()
+		}
+		return float64(n)
+	})
+	rec.RegisterGauge("write_buf_lines", func(now sim.Cycles) float64 {
+		n := 0
+		for _, d := range s.pmDIMMs {
+			n += d.WriteBufferLen()
+		}
+		return float64(n)
+	})
+	rec.RegisterGauge("pm_ra", func(now sim.Cycles) float64 {
+		return s.PMCounters().RA()
+	})
+	rec.RegisterGauge("pm_wa", func(now sim.Cycles) float64 {
+		return s.PMCounters().WA()
+	})
+	rec.RegisterGauge("l1_pred_hit_ratio", func(now sim.Cycles) float64 {
+		var hits, misses uint64
+		for _, c := range s.cores {
+			h, m := c.L1.PredStats()
+			hits += h
+			misses += m
+		}
+		if hits+misses == 0 {
+			return 0
+		}
+		return float64(hits) / float64(hits+misses)
+	})
+}
+
+// globalOps/globalCycles accumulate simulated progress across every
+// System.Run in the process, feeding the live telemetry endpoint.
+var globalOps, globalCycles atomic.Uint64
+
+// GlobalStats reports process-wide simulated progress: operations
+// executed and cycles elapsed, summed over every completed Run. It is the
+// canonical telemetry.StatsFunc.
+func GlobalStats() (ops, cycles uint64) {
+	return globalOps.Load(), globalCycles.Load()
+}
+
+// noteRunEnd publishes a completed run's progress: the process-wide
+// atomics always, and the recorder's run boundary when telemetry is
+// attached. Called with s.threads still populated.
+func (s *System) noteRunEnd(end sim.Cycles) {
+	var ops uint64
+	for _, t := range s.threads {
+		ops += t.ops
+	}
+	globalOps.Add(ops)
+	globalCycles.Add(uint64(end))
+	if s.rec != nil {
+		s.rec.NoteRunEnd(end)
+	}
+}
+
 // Go registers a simulated thread bound to core coreID. remote marks the
 // thread as running on the other socket from the memory (NUMA). The
 // function body runs when Run is called. It returns the thread for
@@ -282,6 +392,8 @@ func (s *System) Run() sim.Cycles {
 	}
 	for _, t := range s.threads {
 		t.htShared = t.core.live > 1
+		t.rec = s.rec
+		t.tel = s.telProbe
 	}
 	s.live = len(s.threads)
 
@@ -292,6 +404,7 @@ func (s *System) Run() sim.Cycles {
 		t.finished = true
 		s.live = 0
 		end := t.now
+		s.noteRunEnd(end)
 		s.threads = s.threads[:0]
 		s.running = false
 		return end
@@ -314,6 +427,7 @@ func (s *System) Run() sim.Cycles {
 			end = t.now
 		}
 	}
+	s.noteRunEnd(end)
 	s.threads = s.threads[:0]
 	s.running = false
 	return end

@@ -4,6 +4,7 @@ import (
 	"optanesim/internal/cache"
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
 	"optanesim/internal/trace"
 )
 
@@ -68,6 +69,13 @@ type Thread struct {
 
 	// traces, when non-nil, records recent operations (EnableTrace).
 	traces *traceRing
+
+	// rec/tel mirror the system's telemetry attachment (wired at Run
+	// start): rec drives the per-op sampler tick, tel is the machine
+	// source probe handed to workload helpers (see Telemetry). Both are
+	// nil with telemetry off.
+	rec *telemetry.Recorder
+	tel *telemetry.Probe
 }
 
 // Name returns the thread's diagnostic name.
@@ -84,6 +92,11 @@ func (t *Thread) Ops() uint64 { return t.ops }
 
 // System returns the owning system.
 func (t *Thread) System() *System { return t.sys }
+
+// Telemetry returns the machine-layer event probe, or nil when telemetry
+// is off — workload helpers (e.g. the §4.3 block-access paths) emit
+// their own decision points through it.
+func (t *Thread) Telemetry() *telemetry.Probe { return t.tel }
 
 // SetTag directs subsequent cycle accounting into the named bucket
 // (Table 1's time breakdown). An empty tag disables attribution.

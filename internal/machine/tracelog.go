@@ -72,8 +72,14 @@ func (t *Thread) TraceString() string {
 }
 
 // record appends an event if tracing is enabled. start is the thread's
-// clock before the op executed.
+// clock before the op executed. It is also the telemetry sampler's tick
+// point: every recorded operation gives the recorder a chance to
+// snapshot its gauges, which costs one pointer test when telemetry is
+// off and one comparison when the sampling period has not elapsed.
 func (t *Thread) record(kind mem.OpKind, addr mem.Addr, start sim.Cycles) {
+	if t.rec != nil {
+		t.rec.MaybeSample(t.now)
+	}
 	if t.traces == nil {
 		return
 	}

@@ -3,6 +3,7 @@ package optane
 import (
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
 	"optanesim/internal/trace"
 )
 
@@ -22,6 +23,13 @@ type DIMM struct {
 	writePorts *sim.Ports
 
 	c trace.Counters
+	// rbPeak/wbPeak are the buffers' occupancy high-water marks, synced
+	// into c by Counters.
+	rbPeak, wbPeak int
+
+	// tel, when non-nil, receives buffer/AIT/media events; nil keeps the
+	// disabled path to a single pointer test per decision point.
+	tel *telemetry.Probe
 }
 
 // NewDIMM constructs a DIMM with the given profile. The seed drives the
@@ -53,8 +61,22 @@ func MustNewDIMM(prof Profile, seed uint64) *DIMM {
 // Profile returns the DIMM's configuration.
 func (d *DIMM) Profile() Profile { return d.prof }
 
-// Counters exposes the DIMM's traffic counters.
-func (d *DIMM) Counters() *trace.Counters { return &d.c }
+// SetTelemetry attaches (or, with nil, detaches) the DIMM's event probe.
+func (d *DIMM) SetTelemetry(p *telemetry.Probe) {
+	d.tel = p
+	d.rb.tel = p
+}
+
+// Counters exposes the DIMM's traffic counters, syncing in the
+// buffer-derived flow counters and occupancy peaks.
+func (d *DIMM) Counters() *trace.Counters {
+	d.c.RBEvictions = d.rb.evictions
+	d.c.WCBEvictions = d.wb.evictions
+	d.c.WCBPeriodicWBs = d.wb.periodicWBs
+	d.c.RBOccupancyPeak = uint64(d.rbPeak)
+	d.c.WCBOccupancyPeak = uint64(d.wbPeak)
+	return &d.c
+}
 
 // RAPWindow reports the read-after-persist hazard window of this device.
 func (d *DIMM) RAPWindow() sim.Cycles { return d.prof.RAPWindowCycles }
@@ -81,23 +103,48 @@ func (d *DIMM) ReadLine(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
 	// written data is served on-DIMM (§3.3).
 	if d.wb.Contains(addr) {
 		d.c.BufferReadHits++
+		if d.tel != nil {
+			d.tel.Emit(now, telemetry.KindWCBHit, addr.Line(), 0)
+		}
 		return now + d.prof.BufReadHitCycles
 	}
 	// Read-buffer hit: serve and consume the cacheline (cache-exclusive).
 	if readyAt, ok := d.rb.Probe(addr); ok {
 		d.c.BufferReadHits++
+		if d.tel != nil {
+			d.tel.Emit(sim.Max(now, readyAt), telemetry.KindRBHit, addr.Line(), 0)
+		}
 		return sim.Max(now, readyAt) + d.prof.BufReadHitCycles
 	}
 	// Media read of the whole XPLine, via the AIT.
 	t := now
-	if !d.ait.Lookup(addr) {
+	ait := d.ait.Lookup(addr)
+	if !ait {
 		t += d.prof.AITMissCycles
 	}
 	_, done := d.readPorts.Acquire(t, d.prof.MediaReadCycles)
 	d.c.MediaReads++
 	d.c.MediaReadBytes += mem.XPLineSize
+	if d.tel != nil {
+		d.tel.Emit(now, telemetry.KindRBMiss, addr.Line(), 0)
+		d.emitAIT(now, addr, ait)
+		d.tel.Emit(done, telemetry.KindMediaRead, addr.XPLine(), 0)
+		d.tel.Emit(done, telemetry.KindRBInstall, addr.XPLine(), 0)
+	}
 	d.rb.Install(addr, addr.LineInXPLine(), done)
+	if n := d.rb.Len(); n > d.rbPeak {
+		d.rbPeak = n
+	}
 	return done + d.prof.BufReadHitCycles/4
+}
+
+// emitAIT records one AIT cache outcome; callers hold d.tel != nil.
+func (d *DIMM) emitAIT(at sim.Cycles, addr mem.Addr, hit bool) {
+	k := telemetry.KindAITMiss
+	if hit {
+		k = telemetry.KindAITHit
+	}
+	d.tel.Emit(at, k, addr.XPLine(), 0)
 }
 
 // WriteLine absorbs one 64 B write draining from the WPQ at time now and
@@ -111,6 +158,9 @@ func (d *DIMM) WriteLine(now sim.Cycles, addr mem.Addr) sim.Cycles {
 	// Merge into a resident write-buffer entry.
 	if d.wb.Merge(addr, now) {
 		d.c.BufferWriteHits++
+		if d.tel != nil {
+			d.tel.Emit(now, telemetry.KindWCBMerge, addr.Line(), 0)
+		}
 		return now + d.prof.WriteAcceptCycles
 	}
 	// Transition from the read buffer: the full XPLine data is already
@@ -119,11 +169,24 @@ func (d *DIMM) WriteLine(now sim.Cycles, addr mem.Addr) sim.Cycles {
 		accept := d.ensureSpace(now)
 		d.wb.Allocate(addr, true, now)
 		d.c.BufferWriteHits++
+		d.noteWCBAlloc(now, addr, 1)
 		return sim.Max(accept, now) + d.prof.WriteAcceptCycles
 	}
 	accept := d.ensureSpace(now)
 	d.wb.Allocate(addr, false, now)
+	d.noteWCBAlloc(now, addr, 0)
 	return sim.Max(accept, now) + d.prof.WriteAcceptCycles
+}
+
+// noteWCBAlloc tracks the write buffer's occupancy peak and emits the
+// allocation event (fromRB is 1 for read-buffer transitions).
+func (d *DIMM) noteWCBAlloc(now sim.Cycles, addr mem.Addr, fromRB uint64) {
+	if n := d.wb.Len(); n > d.wbPeak {
+		d.wbPeak = n
+	}
+	if d.tel != nil {
+		d.tel.Emit(now, telemetry.KindWCBAlloc, addr.XPLine(), fromRB)
+	}
 }
 
 // ensureSpace evicts write-buffer entries if occupancy has reached the
@@ -153,24 +216,35 @@ func (d *DIMM) ensureSpace(now sim.Cycles) sim.Cycles {
 // write itself completes asynchronously).
 func (d *DIMM) evict(v *wbEntry, now sim.Cycles) sim.Cycles {
 	t := now
+	var rmw uint64
 	if !v.hasBase {
 		// Read-modify-write: fetch the unwritten remainder. The read
 		// buffer can supply it for free if the XPLine is resident.
 		if d.rb.Take(v.xpl) {
 			// Base data supplied by the read buffer; no media read.
 		} else {
-			if !d.ait.Lookup(v.xpl) {
+			rmw = 1
+			ait := d.ait.Lookup(v.xpl)
+			if !ait {
 				t += d.prof.AITMissCycles
 			}
 			_, done := d.readPorts.Acquire(t, d.prof.MediaReadCycles)
 			d.c.MediaReads++
 			d.c.MediaReadBytes += mem.XPLineSize
+			if d.tel != nil {
+				d.emitAIT(now, v.xpl, ait)
+				d.tel.Emit(done, telemetry.KindMediaRead, v.xpl, 0)
+			}
 			t = done
 		}
 	}
 	start, _ := d.writePorts.Acquire(t, d.prof.MediaWriteCycles)
 	d.c.MediaWrites++
 	d.c.MediaWriteBytes += mem.XPLineSize
+	if d.tel != nil {
+		d.tel.Emit(now, telemetry.KindWCBEvict, v.xpl, rmw)
+		d.tel.Emit(start, telemetry.KindMediaWrite, v.xpl, 0)
+	}
 	return start
 }
 
@@ -180,9 +254,13 @@ func (d *DIMM) drainPeriodic(now sim.Cycles) {
 	due := d.wb.DuePeriodic(now)
 	for _, e := range due {
 		deadline := e.fullAt + d.prof.PeriodicWritebackCycles
-		d.writePorts.Acquire(sim.Max(deadline, 0), d.prof.MediaWriteCycles)
+		start, _ := d.writePorts.Acquire(sim.Max(deadline, 0), d.prof.MediaWriteCycles)
 		d.c.MediaWrites++
 		d.c.MediaWriteBytes += mem.XPLineSize
+		if d.tel != nil {
+			d.tel.Emit(sim.Max(deadline, 0), telemetry.KindWCBPeriodicWB, e.xpl, 0)
+			d.tel.Emit(start, telemetry.KindMediaWrite, e.xpl, 0)
+		}
 	}
 	d.wb.recycle(due)
 }

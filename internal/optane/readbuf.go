@@ -3,6 +3,7 @@ package optane
 import (
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
 )
 
 // readBuffer models the on-DIMM read buffer (§3.1): a small FIFO of
@@ -15,7 +16,7 @@ type readBuffer struct {
 	capacity int
 	// retainServed disables the cache-exclusive consumption (ablation).
 	retainServed bool
-	entries map[mem.Addr]*rbEntry // keyed by XPLine address
+	entries      map[mem.Addr]*rbEntry // keyed by XPLine address
 	// fifo holds insertion order, oldest first from fifoHead; the popped
 	// prefix is compacted periodically so the backing array is reused.
 	fifo     []mem.Addr
@@ -25,6 +26,10 @@ type readBuffer struct {
 
 	insertions uint64
 	evictions  uint64
+
+	// tel, when non-nil (set via the owning DIMM), receives eviction
+	// events; the disabled path is a single pointer test.
+	tel *telemetry.Probe
 }
 
 type rbEntry struct {
@@ -100,7 +105,7 @@ func (rb *readBuffer) Install(addr mem.Addr, servedIdx int, readyAt sim.Cycles) 
 	rb.fifo = append(rb.fifo, xpl)
 	rb.insertions++
 	for len(rb.entries) > rb.capacity {
-		rb.evictOldest()
+		rb.evictOldest(readyAt)
 	}
 }
 
@@ -127,7 +132,9 @@ func (rb *readBuffer) Take(addr mem.Addr) bool {
 	return true
 }
 
-func (rb *readBuffer) evictOldest() {
+// evictOldest displaces the oldest resident XPLine; at timestamps the
+// eviction event (the fill that forced it).
+func (rb *readBuffer) evictOldest(at sim.Cycles) {
 	for rb.fifoHead < len(rb.fifo) {
 		oldest := rb.fifo[rb.fifoHead]
 		rb.fifoHead++
@@ -139,6 +146,9 @@ func (rb *readBuffer) evictOldest() {
 			delete(rb.entries, oldest)
 			rb.free = append(rb.free, e)
 			rb.evictions++
+			if rb.tel != nil {
+				rb.tel.Emit(at, telemetry.KindRBEvict, oldest, 0)
+			}
 			return
 		}
 		// Stale FIFO entry (already taken by the write buffer); skip.

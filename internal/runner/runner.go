@@ -54,6 +54,14 @@ type Config struct {
 	// tasks not yet started when a failure lands are skipped and
 	// reported with ErrCanceled.
 	KeepGoing bool
+	// OnTaskStart, when non-nil, is called from the worker goroutine just
+	// before a task executes (not for canceled tasks). It must be safe
+	// for concurrent use.
+	OnTaskStart func(id string)
+	// OnTaskDone, when non-nil, is called from the worker goroutine with
+	// every task's result as it lands — including canceled and timed-out
+	// tasks. It must be safe for concurrent use.
+	OnTaskDone func(Result)
 }
 
 // ErrCanceled marks tasks skipped because an earlier task failed and
@@ -106,11 +114,20 @@ func RunConfig(tasks []Task, cfg Config) []Result {
 				if !cfg.KeepGoing && failed.Load() {
 					now := time.Now()
 					results[i] = Result{ID: tasks[i].ID, Err: ErrCanceled, Start: now, End: now}
+					if cfg.OnTaskDone != nil {
+						cfg.OnTaskDone(results[i])
+					}
 					continue
+				}
+				if cfg.OnTaskStart != nil {
+					cfg.OnTaskStart(tasks[i].ID)
 				}
 				results[i] = run(tasks[i], cfg.Timeout)
 				if results[i].Err != nil {
 					failed.Store(true)
+				}
+				if cfg.OnTaskDone != nil {
+					cfg.OnTaskDone(results[i])
 				}
 			}
 		}()

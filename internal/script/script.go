@@ -37,6 +37,7 @@ import (
 	"optanesim/internal/mem"
 	"optanesim/internal/prefetch"
 	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
 )
 
 // Program is a parsed script.
@@ -299,7 +300,12 @@ type Result struct {
 }
 
 // Run executes the program and returns per-thread and system results.
-func Run(p *Program) (*Result, error) {
+func Run(p *Program) (*Result, error) { return RunRecorded(p, nil) }
+
+// RunRecorded is Run with a telemetry recorder attached to the system,
+// so pmsim can export event streams and sampler series for a script. A
+// nil recorder runs with telemetry off (nil probes, zero overhead).
+func RunRecorded(p *Program, rec *telemetry.Recorder) (*Result, error) {
 	cfg := machine.G1Config(1)
 	if p.Gen == 2 {
 		cfg = machine.G2Config(1)
@@ -316,6 +322,9 @@ func Run(p *Program) (*Result, error) {
 	sys, err := machine.NewSystem(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if rec != nil {
+		sys.AttachTelemetry(rec)
 	}
 
 	// Lay the regions out with guard gaps.

@@ -17,6 +17,7 @@ import (
 
 	"optanesim/internal/machine"
 	"optanesim/internal/mem"
+	"optanesim/internal/telemetry"
 )
 
 // workingLines is the benchmark working set in cachelines. 256 lines =
@@ -96,5 +97,50 @@ func MultiThread(b *testing.B) {
 	b.ResetTimer()
 	sys.Go("bench-mt0", 0, false, body(mem.PMBase))
 	sys.Go("bench-mt1", 1, false, body(mem.PMBase+workingLines*mem.CachelineSize))
+	sys.Run()
+}
+
+// attachRecorder turns telemetry on for a benchmark system: every probe
+// goes live and the gauge sampler runs at its default period, so the
+// telemetry benchmarks measure the full recording cost, not a stub.
+func attachRecorder(sys *machine.System) *telemetry.Recorder {
+	rec := telemetry.NewRecorder("simbench", telemetry.Config{})
+	sys.AttachTelemetry(rec)
+	return rec
+}
+
+// LoadTelemetry is Load with a telemetry recorder attached, so the
+// BENCH_simcore.json artifact records the overhead of live probes and
+// sampling against the plain-Load baseline.
+func LoadTelemetry(b *testing.B) {
+	sys := machine.MustNewSystem(machine.G1Config(1))
+	attachRecorder(sys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.Go("bench-load", 0, false, func(t *machine.Thread) {
+		for i := 0; i < b.N; i++ {
+			t.Load(line(i))
+		}
+	})
+	sys.Run()
+}
+
+// FlushFenceTelemetry is FlushFence with a telemetry recorder attached:
+// the persist path is the event-densest (cache fills, WPQ traffic,
+// write-buffer transitions and persist events all fire), so it bounds
+// the recording overhead from above.
+func FlushFenceTelemetry(b *testing.B) {
+	sys := machine.MustNewSystem(machine.G1Config(1))
+	attachRecorder(sys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.Go("bench-persist", 0, false, func(t *machine.Thread) {
+		for i := 0; i < b.N; i++ {
+			a := line(i)
+			t.Store(a)
+			t.CLWB(a)
+			t.SFence()
+		}
+	})
 	sys.Run()
 }

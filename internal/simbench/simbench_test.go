@@ -16,6 +16,11 @@ func BenchmarkSimCoreStore(b *testing.B)       { Store(b) }
 func BenchmarkSimCoreFlushFence(b *testing.B)  { FlushFence(b) }
 func BenchmarkSimCoreMultiThread(b *testing.B) { MultiThread(b) }
 
+// The *Telemetry variants run the same bodies with a live recorder, so
+// `go test -bench SimCore` shows the telemetry overhead side by side.
+func BenchmarkSimCoreLoadTelemetry(b *testing.B)       { LoadTelemetry(b) }
+func BenchmarkSimCoreFlushFenceTelemetry(b *testing.B) { FlushFenceTelemetry(b) }
+
 // TestHotPathAllocs pins the tentpole's zero-allocation guarantee: once
 // a single-thread workload reaches steady state, the Load, Store,
 // CLWB+SFence, and NTStore+SFence paths must not allocate. The

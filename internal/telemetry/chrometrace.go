@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export: one JSON object with a traceEvents array,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. The
+// mapping is:
+//
+//   - one process (pid) per Recording, named after the unit;
+//   - one thread (tid) per event source, named after the component;
+//   - decision-point events as instant events (ph "i") with the
+//     simulated cycle as the timestamp — the viewer's "microsecond" is
+//     one simulated cycle;
+//   - sampler series as counter events (ph "C"), which Perfetto renders
+//     as per-process track graphs.
+
+// traceEvent is one trace-event record. Field order is the wire order;
+// encoding/json keeps it, so exports are byte-deterministic.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the recordings as one Chrome trace-event
+// JSON document.
+func WriteChromeTrace(w io.Writer, recs ...*Recording) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev traceEvent) error {
+		line, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(line)
+		return err
+	}
+
+	for pid, rec := range recs {
+		if rec == nil {
+			continue
+		}
+		if err := emit(traceEvent{
+			Name: "process_name", Phase: "M", PID: pid,
+			Args: map[string]any{"name": rec.Unit},
+		}); err != nil {
+			return err
+		}
+		for tid, src := range rec.Sources {
+			if err := emit(traceEvent{
+				Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": src},
+			}); err != nil {
+				return err
+			}
+		}
+		if rec.Dropped > 0 {
+			if err := emit(traceEvent{
+				Name: "events-dropped", Phase: "i", Scope: "p", PID: pid,
+				Args: map[string]any{"dropped": rec.Dropped},
+			}); err != nil {
+				return err
+			}
+		}
+		for _, e := range rec.Events {
+			if err := emit(traceEvent{
+				Name: e.Kind.String(), Phase: "i", Scope: "t",
+				TS: int64(e.At), PID: pid, TID: int(e.Src),
+				Args: map[string]any{"addr": e.Addr.String(), "arg": e.Arg},
+			}); err != nil {
+				return err
+			}
+		}
+		for _, s := range rec.Series {
+			for _, sm := range s.Samples {
+				if err := emit(traceEvent{
+					Name: s.Name, Phase: "C", TS: int64(sm.T), PID: pid,
+					Args: map[string]any{"value": sm.V},
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// validPhases lists the trace-event phases this package emits; the
+// validator rejects anything else so an export bug is caught in CI, not
+// in the viewer.
+var validPhases = map[string]bool{"M": true, "i": true, "C": true}
+
+// ValidateChromeTrace checks data against the trace-event schema subset
+// WriteChromeTrace produces: a top-level object with a traceEvents
+// array, every element carrying a name and a known phase, timestamped
+// unless it is metadata, with non-negative pid/tid. It returns the
+// number of non-metadata events on success.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 0, fmt.Errorf("telemetry: trace is not a JSON object: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return 0, fmt.Errorf("telemetry: trace has no traceEvents array")
+	}
+	n := 0
+	for i, raw := range doc.TraceEvents {
+		var ev struct {
+			Name  *string `json:"name"`
+			Phase *string `json:"ph"`
+			TS    *int64  `json:"ts"`
+			PID   *int    `json:"pid"`
+			TID   *int    `json:"tid"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return 0, fmt.Errorf("telemetry: traceEvents[%d] is not an object: %w", i, err)
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			return 0, fmt.Errorf("telemetry: traceEvents[%d] has no name", i)
+		}
+		if ev.Phase == nil || !validPhases[*ev.Phase] {
+			return 0, fmt.Errorf("telemetry: traceEvents[%d] (%q) has a missing or unknown phase", i, *ev.Name)
+		}
+		if ev.PID == nil || *ev.PID < 0 {
+			return 0, fmt.Errorf("telemetry: traceEvents[%d] (%q) has a missing or negative pid", i, *ev.Name)
+		}
+		if ev.TID != nil && *ev.TID < 0 {
+			return 0, fmt.Errorf("telemetry: traceEvents[%d] (%q) has a negative tid", i, *ev.Name)
+		}
+		if *ev.Phase != "M" {
+			if ev.TS == nil || *ev.TS < 0 {
+				return 0, fmt.Errorf("telemetry: traceEvents[%d] (%q) has a missing or negative ts", i, *ev.Name)
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// EventNames returns the distinct non-metadata event names present in a
+// trace document, for CI assertions that a capture actually contains
+// the expected decision points.
+func EventNames(data []byte) (map[string]int, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	names := make(map[string]int)
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase != "M" {
+			names[ev.Name]++
+		}
+	}
+	return names, nil
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StatsFunc reports process-wide simulation progress: total simulated
+// operations executed and total simulated cycles elapsed, summed over
+// every machine run so far. The machine package provides the canonical
+// implementation (machine.GlobalStats); it is injected here so this
+// package never imports the simulator.
+type StatsFunc func() (simOps, simCycles uint64)
+
+// Live serves a sweep's in-flight state over HTTP: a Prometheus-style
+// /metrics endpoint (per-unit progress, ops/sec, worker utilization),
+// Go's expvar at /debug/vars, and the pprof profiling handlers at
+// /debug/pprof/ — so a long -j N run can be watched and profiled without
+// instrumenting the workload.
+//
+// Method calls are safe from concurrent runner workers.
+type Live struct {
+	workers int
+	total   int
+	stats   StatsFunc
+
+	mu      sync.Mutex
+	started time.Time
+	running map[string]time.Time
+	done    []liveUnitDone
+
+	srv *http.Server
+	lis net.Listener
+}
+
+// liveUnitDone is one completed unit's progress record.
+type liveUnitDone struct {
+	id        string
+	wall      time.Duration
+	simCycles int64
+	failed    bool
+}
+
+// NewLive builds the live view for a sweep of totalUnits units on a
+// pool of workers. stats may be nil (the sim_* metrics read 0).
+func NewLive(workers, totalUnits int, stats StatsFunc) *Live {
+	return &Live{
+		workers: workers,
+		total:   totalUnits,
+		stats:   stats,
+		started: time.Now(),
+		running: make(map[string]time.Time),
+	}
+}
+
+// Start binds addr (e.g. ":0" for an ephemeral port) and serves until
+// Stop. It returns the bound address.
+func (l *Live) Start(addr string) (string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", l.metrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	l.lis = lis
+	l.srv = &http.Server{Handler: mux}
+	go l.srv.Serve(lis)
+	return lis.Addr().String(), nil
+}
+
+// Stop shuts the server down.
+func (l *Live) Stop() {
+	if l.srv != nil {
+		l.srv.Close()
+	}
+}
+
+// UnitStarted records that a unit began executing.
+func (l *Live) UnitStarted(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.running[id] = time.Now()
+}
+
+// UnitDone records a unit's completion.
+func (l *Live) UnitDone(id string, wall time.Duration, simCycles int64, failed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.running, id)
+	l.done = append(l.done, liveUnitDone{id: id, wall: wall, simCycles: simCycles, failed: failed})
+}
+
+// metrics renders the Prometheus-style text exposition.
+func (l *Live) metrics(w http.ResponseWriter, _ *http.Request) {
+	l.mu.Lock()
+	running := make([]string, 0, len(l.running))
+	for id := range l.running {
+		running = append(running, id)
+	}
+	sort.Strings(running)
+	runStart := make(map[string]time.Time, len(l.running))
+	for id, t := range l.running {
+		runStart[id] = t
+	}
+	done := append([]liveUnitDone(nil), l.done...)
+	l.mu.Unlock()
+
+	var ops, cycles uint64
+	if l.stats != nil {
+		ops, cycles = l.stats()
+	}
+	elapsed := time.Since(l.started).Seconds()
+	failed := 0
+	for _, d := range done {
+		if d.failed {
+			failed++
+		}
+	}
+	util := 0.0
+	if l.workers > 0 {
+		util = float64(len(running)) / float64(l.workers)
+	}
+	opsPerSec := 0.0
+	if elapsed > 0 {
+		opsPerSec = float64(ops) / elapsed
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "optanesim_workers %d\n", l.workers)
+	fmt.Fprintf(w, "optanesim_units_total %d\n", l.total)
+	fmt.Fprintf(w, "optanesim_units_running %d\n", len(running))
+	fmt.Fprintf(w, "optanesim_units_done %d\n", len(done))
+	fmt.Fprintf(w, "optanesim_units_failed %d\n", failed)
+	fmt.Fprintf(w, "optanesim_worker_utilization %g\n", util)
+	fmt.Fprintf(w, "optanesim_elapsed_seconds %g\n", elapsed)
+	fmt.Fprintf(w, "optanesim_sim_ops_total %d\n", ops)
+	fmt.Fprintf(w, "optanesim_sim_cycles_total %d\n", cycles)
+	fmt.Fprintf(w, "optanesim_sim_ops_per_second %g\n", opsPerSec)
+	for _, id := range running {
+		fmt.Fprintf(w, "optanesim_unit_running_seconds{unit=%q} %g\n", id, time.Since(runStart[id]).Seconds())
+	}
+	for _, d := range done {
+		fmt.Fprintf(w, "optanesim_unit_seconds{unit=%q} %g\n", d.id, d.wall.Seconds())
+		fmt.Fprintf(w, "optanesim_unit_sim_cycles{unit=%q} %d\n", d.id, d.simCycles)
+	}
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"optanesim/internal/plot"
+	"optanesim/internal/sim"
+)
+
+// Sample is one gauge observation on the unit timeline.
+type Sample struct {
+	T sim.Cycles `json:"t"`
+	V float64    `json:"v"`
+}
+
+// Series is one gauge's sampled time series, in registration order
+// within its Recording.
+type Series struct {
+	Name    string   `json:"series"`
+	Samples []Sample `json:"samples"`
+}
+
+// Plot converts the series into an internal/plot curve (x = simulated
+// cycles, y = gauge value) so sampler output renders on the same ASCII
+// charts as the paper's figures.
+func (s Series) Plot() plot.Series {
+	p := plot.Series{Label: s.Name, X: make([]float64, len(s.Samples)), Y: make([]float64, len(s.Samples))}
+	for i, sm := range s.Samples {
+		p.X[i] = float64(sm.T)
+		p.Y[i] = sm.V
+	}
+	return p
+}
+
+// Recording is a frozen snapshot of one unit's telemetry, safe to hand
+// across goroutines (the runner collects one per unit).
+type Recording struct {
+	// Unit names the experiment unit, e.g. "fig2/G1".
+	Unit string
+	// Sources maps Event.Src ids to component names.
+	Sources []string
+	// Events is the retained event stream, oldest first, on the unit's
+	// rebased cycle timeline.
+	Events []Event
+	// Dropped counts events the bounded ring overwrote before this
+	// snapshot; non-zero means Events is the truncated tail.
+	Dropped uint64
+	// Series holds the sampled gauges in registration order.
+	Series []Series
+	// EndCycles is the unit timeline's extent (total simulated cycles
+	// over all of the unit's machine runs).
+	EndCycles sim.Cycles
+}
+
+// Source returns the name for a source id, or "?" when out of range.
+func (r *Recording) Source(id uint8) string {
+	if int(id) < len(r.Sources) {
+		return r.Sources[id]
+	}
+	return "?"
+}
+
+// gauge is one registered sampled quantity.
+type gauge struct {
+	name string
+	fn   func(now sim.Cycles) float64
+	data []Sample
+}
+
+// sampler snapshots every registered gauge at a fixed simulated-cycle
+// period. Gauge functions receive the current machine run's local time
+// (they read live component state); samples are stored against the
+// rebased unit timeline.
+type sampler struct {
+	every  sim.Cycles
+	next   sim.Cycles // unit-timeline due time of the next snapshot
+	gauges []gauge
+	byName map[string]int
+}
+
+func newSampler(every sim.Cycles) *sampler {
+	return &sampler{every: every, byName: make(map[string]int)}
+}
+
+func (s *sampler) register(name string, fn func(now sim.Cycles) float64) {
+	if i, ok := s.byName[name]; ok {
+		s.gauges[i].fn = fn
+		return
+	}
+	s.byName[name] = len(s.gauges)
+	s.gauges = append(s.gauges, gauge{name: name, fn: fn})
+}
+
+// sample records one observation of every gauge: at is the unit-timeline
+// timestamp, now the run-local time passed to the gauge functions.
+func (s *sampler) sample(at, now sim.Cycles) {
+	for i := range s.gauges {
+		g := &s.gauges[i]
+		g.data = append(g.data, Sample{T: at, V: g.fn(now)})
+	}
+	s.next = at + s.every
+}
+
+// snapshot copies the accumulated series.
+func (s *sampler) snapshot() []Series {
+	out := make([]Series, len(s.gauges))
+	for i := range s.gauges {
+		out[i] = Series{Name: s.gauges[i].name, Samples: append([]Sample(nil), s.gauges[i].data...)}
+	}
+	return out
+}

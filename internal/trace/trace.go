@@ -7,15 +7,26 @@ package trace
 import "fmt"
 
 // Counters accumulates traffic at the three observation points the paper
-// uses:
+// uses, plus on-DIMM buffer flow detail the paper can only infer:
 //
 //   - Demand*: bytes the program itself asked for (64 B per load/store
-//     the workload issues). Recorded by the machine layer.
+//     the workload issues). Recorded by the machine layer at instruction
+//     retirement — this is the numerator's denominator for both §3.4
+//     read ratios.
 //   - IMC*: bytes the integrated memory controller exchanged with the
 //     DIMM (demand misses + prefetches + writebacks). Recorded by the
-//     controller.
+//     controller at WPQ/RPQ acceptance; the paper reads this point with
+//     the CPU's UNC_M_* uncore counters via VTune.
 //   - Media*: bytes the DIMM exchanged with the 3D-XPoint media (always
-//     multiples of the 256 B XPLine). Recorded by the DIMM model.
+//     multiples of the 256 B XPLine). Recorded by the DIMM model at the
+//     media ports; the paper reads this point with ipmwatch
+//     (media_read/media_write). RA = Media/IMC on the read side and
+//     WA = Media/IMC on the write side reproduce the paper's
+//     amplification metrics exactly.
+//
+// The remaining counters expose what happens between the IMC and Media
+// points — the on-DIMM buffering the paper characterizes indirectly:
+// buffer hits, evictions, periodic write-backs, and occupancy peaks.
 type Counters struct {
 	DemandReadBytes  uint64
 	DemandWriteBytes uint64
@@ -31,6 +42,21 @@ type Counters struct {
 	// MediaReads / MediaWrites count XPLine-granularity media operations.
 	MediaReads  uint64
 	MediaWrites uint64
+
+	// RBEvictions counts read-buffer XPLines displaced by FIFO overflow;
+	// WCBEvictions counts write-combining-buffer entries flushed toward
+	// the media under capacity pressure; WCBPeriodicWBs counts entries
+	// the first-generation DIMM's periodic write-back retired instead.
+	RBEvictions    uint64
+	WCBEvictions   uint64
+	WCBPeriodicWBs uint64
+
+	// *OccupancyPeak record the high-water mark (in entries) each queue
+	// or buffer reached during the run. Add keeps the maximum, not the
+	// sum, so aggregates stay meaningful.
+	RBOccupancyPeak  uint64
+	WCBOccupancyPeak uint64
+	WPQOccupancyPeak uint64
 }
 
 // Add accumulates o into c.
@@ -45,6 +71,19 @@ func (c *Counters) Add(o *Counters) {
 	c.BufferWriteHits += o.BufferWriteHits
 	c.MediaReads += o.MediaReads
 	c.MediaWrites += o.MediaWrites
+	c.RBEvictions += o.RBEvictions
+	c.WCBEvictions += o.WCBEvictions
+	c.WCBPeriodicWBs += o.WCBPeriodicWBs
+	c.RBOccupancyPeak = maxU64(c.RBOccupancyPeak, o.RBOccupancyPeak)
+	c.WCBOccupancyPeak = maxU64(c.WCBOccupancyPeak, o.WCBOccupancyPeak)
+	c.WPQOccupancyPeak = maxU64(c.WPQOccupancyPeak, o.WPQOccupancyPeak)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Reset zeroes all counters.

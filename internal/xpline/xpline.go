@@ -11,6 +11,7 @@ import (
 	"optanesim/internal/machine"
 	"optanesim/internal/mem"
 	"optanesim/internal/pmem"
+	"optanesim/internal/telemetry"
 )
 
 // Staging is a per-thread DRAM buffer of one XPLine used by the
@@ -29,6 +30,9 @@ func NewStaging(dram *pmem.Heap) *Staging {
 // benchmark's access pattern; prefetchers fire normally).
 func Direct(t *machine.Thread, block mem.Addr) {
 	base := block.XPLine()
+	if p := t.Telemetry(); p != nil {
+		p.Emit(t.Now(), telemetry.KindXPDirect, base, 0)
+	}
 	for c := 0; c < mem.LinesPerXPLine; c++ {
 		t.Load(base + mem.Addr(c*mem.CachelineSize))
 	}
@@ -41,6 +45,9 @@ func Direct(t *machine.Thread, block mem.Addr) {
 // SIMD loads (no prefetcher involvement) and performs the reads against
 // the staging copy, which stays cache-resident.
 func Redirected(t *machine.Thread, block mem.Addr, st *Staging) {
+	if p := t.Telemetry(); p != nil {
+		p.Emit(t.Now(), telemetry.KindXPRedirected, block.XPLine(), 0)
+	}
 	t.AVXCopy(block.XPLine(), st.Addr)
 	for c := 0; c < mem.LinesPerXPLine; c++ {
 		t.Load(st.Addr + mem.Addr(c*mem.CachelineSize))
