@@ -1,0 +1,59 @@
+package main
+
+import "testing"
+
+func doc(pairs ...any) document {
+	var d document
+	for i := 0; i < len(pairs); i += 2 {
+		d.Results = append(d.Results, result{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return d
+}
+
+func TestCompareDocsWithinThreshold(t *testing.T) {
+	old := doc("Load", 100.0, "Store", 10.0)
+	new := doc("Load", 114.0, "Store", 9.0)
+	regs, missing := compareDocs(old, new, 0.15)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("want clean compare, got regs=%v missing=%v", regs, missing)
+	}
+}
+
+func TestCompareDocsFlagsRegression(t *testing.T) {
+	old := doc("Load", 100.0, "Store", 10.0)
+	new := doc("Load", 116.0, "Store", 10.0)
+	regs, missing := compareDocs(old, new, 0.15)
+	if len(missing) != 0 {
+		t.Fatalf("unexpected missing: %v", missing)
+	}
+	if len(regs) != 1 || regs[0].Name != "Load" {
+		t.Fatalf("want Load regression, got %v", regs)
+	}
+	if g := regs[0].Growth; g < 0.159 || g > 0.161 {
+		t.Errorf("growth = %v, want ~0.16", g)
+	}
+}
+
+func TestCompareDocsFlagsMissingBenchmark(t *testing.T) {
+	old := doc("Load", 100.0, "Store", 10.0)
+	new := doc("Load", 100.0)
+	regs, missing := compareDocs(old, new, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regs: %v", regs)
+	}
+	if len(missing) != 1 || missing[0] != "Store" {
+		t.Fatalf("want Store missing, got %v", missing)
+	}
+}
+
+func TestCompareDocsIgnoresNewBenchmarks(t *testing.T) {
+	old := doc("Load", 100.0)
+	new := doc("Load", 100.0, "Contended8", 500.0)
+	regs, missing := compareDocs(old, new, 0.15)
+	if len(regs) != 0 || len(missing) != 0 {
+		t.Fatalf("added benchmark must not trip the gate: regs=%v missing=%v", regs, missing)
+	}
+}

@@ -65,6 +65,10 @@ func bandwidthRun(o BandwidthOptions, threads int, write bool) float64 {
 	cfg := o.Gen.Config(threads)
 	cfg.PMDIMMs = o.DIMMs
 	sys := machine.MustNewSystem(cfg)
+	// The thread bodies below share only `end`, a commutative max
+	// accumulator read after Run, so the lookahead scheduler may run
+	// core-local operations past the grant horizon (sched.go).
+	sys.SetThreadsIsolated(true)
 
 	perThread := o.BytesPerThread / mem.XPLineSize
 	var end sim.Cycles

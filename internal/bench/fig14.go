@@ -74,6 +74,11 @@ func Fig14(o Fig14Options) []Fig14Point {
 
 func fig14Run(o Fig14Options, threads int, optimized bool) (cyclesPerBlock, gbs float64) {
 	sys := machine.MustNewSystem(o.Gen.Config(threads))
+	// Thread bodies share only commutative accumulators (busy, blocks,
+	// endMax) read after Run, plus the DRAM staging heap — allocated once
+	// per body at start, and bodies always start in registration order —
+	// so local-op overrun is safe to declare (sched.go).
+	sys.SetThreadsIsolated(true)
 	nBlocks := o.WSS / mem.XPLineSize
 	base := mem.PMBase
 	dram := pmem.NewDRAMHeap(uint64(threads+1) * (4 << 10))

@@ -65,6 +65,11 @@ func (d *DIMM) Counters() *trace.Counters { return &d.c }
 // RAPWindow reports the device's read-after-persist hazard window.
 func (d *DIMM) RAPWindow() sim.Cycles { return d.prof.RAPWindowCycles }
 
+// CommitSlack reports zero: port acquisition order is observable (a
+// later-arriving access can be delayed by an earlier one holding a
+// port), so accesses must arrive in exact simulated-time order.
+func (d *DIMM) CommitSlack() sim.Cycles { return 0 }
+
 // ReadLine serves a cacheline read arriving at time now.
 func (d *DIMM) ReadLine(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
 	d.c.IMCReadBytes += mem.CachelineSize

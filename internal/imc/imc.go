@@ -25,6 +25,12 @@ type Device interface {
 	WriteLine(now sim.Cycles, addr mem.Addr) sim.Cycles
 	// RAPWindow is the device's read-after-persist hazard window.
 	RAPWindow() sim.Cycles
+	// CommitSlack bounds how far past another thread's arrival an access
+	// to this device may be admitted without any observable reordering:
+	// the gap between an access arriving and its earliest effect on what
+	// a later access sees. Arrival-order-sensitive devices must return 0
+	// (see Controller.CommitSlack).
+	CommitSlack() sim.Cycles
 	// Counters exposes the device's traffic counters.
 	Counters() *trace.Counters
 }
@@ -249,6 +255,18 @@ func (c *Controller) Write(now sim.Cycles, addr mem.Addr) (accept, landed sim.Cy
 	}
 	return accept, landed
 }
+
+// CommitSlack reports how far past another thread's arrival time an
+// access may be admitted to this controller without any observable
+// reordering — the lookahead scheduler's safe quantum beyond the
+// min-time bound. The controller is arrival-order-sensitive through and
+// through (the WPQ ring pops, pushes and records lastLand at arrival;
+// the hazard table is read and extended at arrival), so its own slack
+// is zero and zero is returned regardless of the devices' answers: any
+// nonzero device slack is unobservable behind an order-sensitive queue.
+// The method exists so the scheduler's horizon computation has a single
+// component-owned hook should a relaxed controller model ever exist.
+func (c *Controller) CommitSlack() sim.Cycles { return 0 }
 
 // observe tracks the high-water mark of simulated time for hazard
 // pruning.

@@ -1,0 +1,246 @@
+package machine
+
+import (
+	"math"
+
+	"optanesim/internal/sim"
+)
+
+// This file is the lookahead-window scheduler: the machinery that lets a
+// simulated thread execute many operations inline between coroutine
+// baton passes while preserving the min-time scheduler's exact,
+// reproducible contention semantics.
+//
+// # The min-time invariant
+//
+// Shared components (the L3, the memory controllers, the on-DIMM
+// buffers) are arrival-order-sensitive: their queues, hazard tables and
+// replacement state mutate the moment an access arrives, so the order
+// in which threads' operations reach them is observable in every
+// result. The classic scheduler kept that order exact by passing a
+// coroutine baton at every operation boundary to whichever unfinished
+// thread was furthest behind in simulated time (ties broken by
+// registration order) — two channel operations per op once more than
+// one thread was live.
+//
+// The lookahead scheduler keeps the same invariant — an operation that
+// can touch a shared component executes only while its thread is the
+// minimum-time runnable thread — but enforces it with a grant horizon
+// instead of a per-op scan:
+//
+//   - When a thread is granted the baton, the horizon is computed once
+//     from the registry of suspended threads (an indexed min-heap keyed
+//     by thread time): the earliest instant at which any other thread
+//     could need to run, plus the shared components' commit slack (see
+//     CommitSlack; zero on every current component).
+//   - While the thread's clock is below the horizon it executes
+//     operations inline; the per-op check is a single comparison.
+//     Suspended threads cannot advance, so the horizon needs no
+//     maintenance while the grant lasts.
+//   - Once the clock crosses the horizon, the next operation that can
+//     have any shared-visible effect re-enters the heap and passes the
+//     baton to the global minimum.
+//
+// # Local overrun
+//
+// Operations with no shared-visible effect at all — predicted L1 hits
+// on a core no sibling hyperthread shares, pure compute, and fence
+// retirement (which only drains the thread's private pending list) —
+// may execute inline even past the horizon: no other thread can ever
+// observe that they ran early. This is only sound when nothing outside
+// the simulated memory system can observe execution order either, so it
+// is gated three ways: the workload must declare its thread bodies
+// isolated (SetThreadsIsolated), no persist observer may be attached
+// (ObservePersist consumers see per-store events in order), and no
+// telemetry recorder may be attached (the event stream and gauge
+// sampler record in execution order). Everything the simulation reports
+// afterwards — cycle counts, tag attribution, traffic counters — is
+// provably identical with and without overrun, because such operations
+// touch only thread- and core-private state plus order-commutative
+// counters.
+
+// Horizon sentinels. horizonNever marks a thread that can never be
+// preempted (a solo run, or the last unfinished thread): its per-op
+// check stays one always-true comparison. horizonAlways forces a
+// rescheduling decision at every operation boundary — the compatibility
+// mode that reproduces the classic per-op baton exactly, kept as the
+// reference implementation for the scheduler property tests.
+const (
+	horizonNever  = sim.Cycles(math.MaxInt64)
+	horizonAlways = sim.Cycles(math.MinInt64)
+)
+
+// threadHeap is an indexed binary min-heap of suspended runnable
+// threads keyed by (now, registration id). It replaces the O(n)
+// pickNext scan the classic scheduler performed at every operation
+// boundary; push and pop are O(log n) and run only at baton passes.
+// The backing array is reused across Runs (grown once per System).
+type threadHeap struct {
+	a []*Thread
+}
+
+// threadLess orders threads by simulated time, breaking ties by
+// registration order — exactly the order the classic pickNext scan
+// produced, so tie-bound workloads schedule identically.
+func threadLess(x, y *Thread) bool {
+	return x.now < y.now || (x.now == y.now && x.id < y.id)
+}
+
+func (h *threadHeap) push(t *Thread) {
+	h.a = append(h.a, t)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !threadLess(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *threadHeap) pop() *Thread {
+	n := len(h.a)
+	if n == 0 {
+		return nil
+	}
+	top := h.a[0]
+	last := h.a[n-1]
+	h.a[n-1] = nil
+	h.a = h.a[:n-1]
+	if n > 1 {
+		h.a[0] = last
+		i := 0
+		for {
+			small := i
+			if l := 2*i + 1; l < n-1 && threadLess(h.a[l], h.a[small]) {
+				small = l
+			}
+			if r := 2*i + 2; r < n-1 && threadLess(h.a[r], h.a[small]) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			h.a[i], h.a[small] = h.a[small], h.a[i]
+			i = small
+		}
+	}
+	return top
+}
+
+// min returns the heap's minimum without removing it, or nil when empty.
+func (h *threadHeap) min() *Thread {
+	if len(h.a) == 0 {
+		return nil
+	}
+	return h.a[0]
+}
+
+func (h *threadHeap) reset() {
+	for i := range h.a {
+		h.a[i] = nil
+	}
+	h.a = h.a[:0]
+}
+
+// grant installs t's lookahead horizon against the current heap of
+// suspended threads. t runs inline while its clock stays strictly below
+// the horizon; the +1 when the nearest suspended thread registered
+// later encodes the classic tie-break (at equal times the
+// earlier-registered thread runs first).
+func (s *System) grant(t *Thread) {
+	if s.compatSched {
+		t.horizon = horizonAlways
+		return
+	}
+	u := s.sched.min()
+	if u == nil {
+		t.horizon = horizonNever
+		return
+	}
+	h := u.now + s.schedSlack
+	if s.schedSlack == 0 && u.id > t.id {
+		h++
+	}
+	t.horizon = h
+}
+
+// schedQuantum asks every shared component how far beyond the min-time
+// bound the grant horizon may safely reach: the smallest commit slack —
+// the gap between an access arriving at the component and its earliest
+// effect another thread could observe — over the shared cache level,
+// both memory controllers, and (through the controllers) the memory
+// devices behind them. Every arrival-order-sensitive component answers
+// zero, which pins the horizon to the exact min-time bound on all
+// current configurations; the hook exists so a future order-insensitive
+// component model could widen the window without touching the
+// scheduler.
+func (s *System) schedQuantum() sim.Cycles {
+	q := s.l3.CommitSlack()
+	q = sim.Min(q, s.pmc.CommitSlack())
+	q = sim.Min(q, s.dramc.CommitSlack())
+	return q
+}
+
+// yield re-enters the scheduler at an operation boundary: the calling
+// thread rejoins the heap and the baton passes to the minimum-time
+// runnable thread. Called only when the clock has crossed the grant
+// horizon, so with a single live thread it simply renews the
+// never-preempt horizon.
+func (t *Thread) yield() {
+	s := t.sys
+	if s.live <= 1 && !s.compatSched {
+		t.horizon = horizonNever
+		return
+	}
+	s.sched.push(t)
+	next := s.sched.pop()
+	s.grant(next)
+	if next == t {
+		return
+	}
+	next.resume <- struct{}{}
+	<-t.resume
+}
+
+// scheduleShared is the operation-entry gate for operations that can
+// touch a shared component (L2-miss traffic, flushes, nt-stores,
+// streaming copies): below the horizon it is one comparison, past it
+// the thread yields so the access arrives in exact min-time order.
+func (t *Thread) scheduleShared() {
+	t.ops++
+	if t.now < t.horizon {
+		return
+	}
+	t.yield()
+}
+
+// scheduleLocal is the gate for operations with no shared-visible
+// effect (compute, fence retirement): threads cleared for local overrun
+// keep executing them inline past the horizon.
+func (t *Thread) scheduleLocal() {
+	t.ops++
+	if t.now < t.horizon || t.localOK {
+		return
+	}
+	t.yield()
+}
+
+// SetThreadsIsolated declares whether the registered thread bodies are
+// mutually isolated: they communicate only through the simulated memory
+// system and share no host-side Go state whose access order matters
+// (per-thread accumulators that commute — sums, maxima — read after Run
+// are fine; a shared index mutated from several thread closures is
+// not). Isolated workloads allow the scheduler's local overrun: core-
+// private cache hits, compute and fences run inline past the grant
+// horizon instead of costing a baton pass, which is what makes
+// contended simulations run at single-thread speed. The declaration is
+// sticky across Runs; it defaults to off, which is always safe.
+//
+// Simulated results are identical either way — overrun is restricted to
+// operations other threads provably cannot observe — so the declaration
+// only changes host execution order between isolated thread bodies.
+func (s *System) SetThreadsIsolated(isolated bool) {
+	s.isolated = isolated
+}

@@ -93,10 +93,21 @@ type System struct {
 	running bool
 	done    chan struct{}
 	// live is the number of registered-but-unfinished threads in the
-	// current Run. While it is 1 the per-op scheduler check reduces to a
-	// single comparison: no baton can change hands, so channel handoffs
-	// (and the min-time scan) are skipped entirely.
+	// current Run. Once it reaches 1 the remaining thread's grant horizon
+	// becomes horizonNever: no baton can change hands, so channel
+	// handoffs are skipped entirely.
 	live int
+
+	// sched holds the suspended runnable threads, keyed by (now, id);
+	// grant horizons are computed against its minimum (see sched.go).
+	// schedSlack caches schedQuantum() for the current Run. isolated is
+	// the workload's SetThreadsIsolated declaration; compatSched (tests
+	// only) forces the classic per-op baton for use as a reference
+	// scheduler.
+	sched       threadHeap
+	schedSlack  sim.Cycles
+	isolated    bool
+	compatSched bool
 
 	// Tag interning: attribution tags are small integers indexing flat
 	// per-thread cycle arrays; the string API survives only at the edges
@@ -371,14 +382,17 @@ func (s *System) internTag(name string) int {
 }
 
 // Run executes all registered threads to completion under the
-// deterministic min-time scheduler, then clears the thread list. It
-// returns the final simulated time (the max over thread finish times).
+// deterministic lookahead-window scheduler (sched.go), then clears the
+// thread list. It returns the final simulated time (the max over thread
+// finish times).
 //
 // A single registered thread — the shape of every single-thread sweep —
 // bypasses the scheduler entirely: the body runs inline on the calling
-// goroutine with no channels or goroutine handoffs, and every per-op
-// schedule() call reduces to one counter check. With two or more
-// threads the min-time coroutine baton is used as before.
+// goroutine with no channels or goroutine handoffs under a
+// never-preempt horizon, so every per-op gate reduces to one counter
+// check. With two or more threads the coroutine baton passes only when
+// a thread's clock crosses its grant horizon, preserving the exact
+// min-time contention order of the classic per-op scheduler.
 func (s *System) Run() sim.Cycles {
 	if len(s.threads) == 0 {
 		return 0
@@ -394,14 +408,15 @@ func (s *System) Run() sim.Cycles {
 		t.htShared = t.core.live > 1
 		t.rec = s.rec
 		t.tel = s.telProbe
+		t.localOK = s.isolated && !t.htShared &&
+			s.rec == nil && s.persistFn == nil && !s.compatSched
 	}
 	s.live = len(s.threads)
 
 	if len(s.threads) == 1 {
 		t := s.threads[0]
-		t.solo = true
+		t.horizon = horizonNever
 		t.fn(t)
-		t.finished = true
 		s.live = 0
 		end := t.now
 		s.noteRunEnd(end)
@@ -410,14 +425,18 @@ func (s *System) Run() sim.Cycles {
 		return end
 	}
 
+	s.schedSlack = s.schedQuantum()
+	s.sched.reset()
 	s.done = make(chan struct{})
 	for _, t := range s.threads {
 		t.resume = make(chan struct{})
+		s.sched.push(t)
 	}
 	for _, t := range s.threads {
 		go t.main()
 	}
-	first := s.pickNext()
+	first := s.sched.pop()
+	s.grant(first)
 	first.resume <- struct{}{}
 	<-s.done
 
@@ -431,21 +450,6 @@ func (s *System) Run() sim.Cycles {
 	s.threads = s.threads[:0]
 	s.running = false
 	return end
-}
-
-// pickNext returns the unfinished thread with the smallest current time,
-// breaking ties by registration order. nil when all have finished.
-func (s *System) pickNext() *Thread {
-	var best *Thread
-	for _, t := range s.threads {
-		if t.finished {
-			continue
-		}
-		if best == nil || t.now < best.now {
-			best = t
-		}
-	}
-	return best
 }
 
 // CyclesToSeconds converts a simulated cycle count to seconds using the

@@ -11,10 +11,11 @@ import (
 // Thread is one simulated hardware thread. Workloads drive it
 // imperatively (Load, Store, NTStore, CLWB, fences, ...); each operation
 // advances the thread's private clock through the shared memory system.
-// Threads run as coroutines under the system's min-time scheduler: at
-// every operation boundary the baton passes to whichever thread is
-// furthest behind in simulated time, so shared-resource contention is
-// resolved in exact time order.
+// Threads run as coroutines under the system's lookahead-window
+// scheduler (see sched.go): a thread holding the baton executes inline
+// until its clock crosses the grant horizon, then passes the baton to
+// whichever thread is furthest behind in simulated time, so
+// shared-resource contention is resolved in exact time order.
 type Thread struct {
 	sys    *System
 	id     int
@@ -48,15 +49,19 @@ type Thread struct {
 	lastTagID   int
 	ops         uint64
 
-	// Scheduling. solo is set by Run when this thread is the only one
-	// registered, collapsing schedule() to a counter increment. htShared
-	// snapshots core.live > 1 at the same point (core bindings are fixed
-	// for the whole Run), sparing feCost the core deref per op.
-	solo     bool
+	// Scheduling. horizon is the lookahead grant installed by
+	// System.grant: the thread executes inline while now < horizon
+	// (horizonNever for a solo run or the last live thread). localOK,
+	// computed at Run start, clears the thread for local overrun —
+	// executing operations with no shared-visible effect even past the
+	// horizon (see sched.go). htShared snapshots core.live > 1 at the
+	// same point (core bindings are fixed for the whole Run), sparing
+	// feCost the core deref per op.
+	horizon  sim.Cycles
+	localOK  bool
 	htShared bool
 	resume   chan struct{}
 	fn       func(*Thread)
-	finished bool
 
 	// cpuProf caches &sys.cfg.CPU: the hot paths read several profile
 	// fields per op and skip the two-level deref. l1, l1Hit, pmDemand and
@@ -137,37 +142,18 @@ func (t *Thread) Tags() map[string]sim.Cycles {
 	return out
 }
 
-// main is the coroutine body.
+// main is the coroutine body. On finish the baton passes to the
+// suspended minimum-time thread; the last thread out closes done.
 func (t *Thread) main() {
 	<-t.resume
 	t.fn(t)
-	t.finished = true
 	t.sys.live--
-	if next := t.sys.pickNext(); next != nil {
+	if next := t.sys.sched.pop(); next != nil {
+		t.sys.grant(next)
 		next.resume <- struct{}{}
 	} else {
 		close(t.sys.done)
 	}
-}
-
-// schedule yields the baton if another thread is behind in simulated
-// time. Every public operation calls it first. With a single live
-// thread — a single-thread Run, or the tail of a multi-thread one — no
-// baton can change hands and the check collapses to one comparison.
-func (t *Thread) schedule() {
-	t.ops++
-	if t.solo {
-		return
-	}
-	if t.sys.live <= 1 {
-		return
-	}
-	next := t.sys.pickNext()
-	if next == nil || next == t {
-		return
-	}
-	next.resume <- struct{}{}
-	<-t.resume
 }
 
 // advance moves the thread's clock to at (never backwards), charging the
@@ -227,7 +213,30 @@ func (t *Thread) LoadDep(addr mem.Addr) {
 }
 
 func (t *Thread) load(addr mem.Addr, ooo bool) {
-	t.schedule()
+	t.ops++
+	la := addr.Line()
+	// Scheduling gate, fused with the L1 way prediction so each path
+	// predicts exactly once. Below the horizon the op runs inline. Past
+	// it, a thread cleared for local overrun first checks whether this is
+	// a plain private-L1 hit — the predictor is read-only, the L1 is
+	// core-private, and no sibling hyperthread exists when localOK is
+	// set, so the peek is valid regardless of scheduling order — and
+	// yields only when the walk would leave the core. Otherwise the
+	// thread yields first and predicts from min-time position, exactly
+	// like the classic per-op baton.
+	var l *cache.Line
+	if t.now < t.horizon {
+		l = t.l1.PredictLine(la)
+	} else if t.localOK {
+		l = t.l1.PredictLine(la)
+		if l == nil || l.Flushed || l.Prefetched {
+			t.yield()
+		}
+	} else {
+		t.yield()
+		l = t.l1.PredictLine(la)
+	}
+
 	start := t.now
 	cpu := t.cpuProf
 	t.demand(addr).DemandReadBytes += mem.CachelineSize
@@ -245,9 +254,8 @@ func (t *Thread) load(addr mem.Addr, ooo bool) {
 	// generic hierarchy walk. Any other case — predictor miss, flushed or
 	// prefetched line — takes the full readPath, whose Lookup performs
 	// the identical accounting.
-	la := addr.Line()
 	var done sim.Cycles
-	if l := t.l1.PredictLine(la); l != nil && !l.Flushed && !l.Prefetched {
+	if l != nil && !l.Flushed && !l.Prefetched {
 		t.l1.Touch(l)
 		done = sim.Max(eff, l.ReadyAt) + t.l1Hit
 	} else {
@@ -262,7 +270,7 @@ func (t *Thread) load(addr mem.Addr, ooo bool) {
 // both known once the directory entry arrives): the thread advances to
 // the latest completion rather than their sum.
 func (t *Thread) LoadParallel(addrs ...mem.Addr) {
-	t.schedule()
+	t.scheduleShared()
 	cpu := t.cpu()
 	eff := t.now - cpu.OOOWindow
 	// loadBarrier is never negative, so this clamp also floors eff at 0.
@@ -415,12 +423,30 @@ func (t *Thread) issuePrefetches(addr mem.Addr, miss, confirmed bool, at sim.Cyc
 // read-modify-write issue an explicit Load first, so read costs are
 // always visible as loads.
 func (t *Thread) Store(addr mem.Addr) {
-	t.schedule()
+	t.ops++
+	la := addr.Line()
+	// Scheduling gate fused with the way prediction, as in load: a
+	// predicted unflushed private-L1 hit has no shared-visible effect
+	// (the persist observer is nil whenever localOK is set), so an
+	// overrun-cleared thread commits it inline; anything else — flushed
+	// line, L1 miss, fill cascade that can spill into L3 — yields first.
+	var l *cache.Line
+	if t.now < t.horizon {
+		l = t.l1.PredictLine(la)
+	} else if t.localOK {
+		l = t.l1.PredictLine(la)
+		if l == nil || l.Flushed {
+			t.yield()
+		}
+	} else {
+		t.yield()
+		l = t.l1.PredictLine(la)
+	}
+
 	start := t.now
 	cpu := t.cpuProf
 	t.demand(addr).DemandWriteBytes += mem.CachelineSize
-	la := addr.Line()
-	if l := t.l1.PredictLine(la); l != nil && !l.Flushed {
+	if l != nil && !l.Flushed {
 		// Predicted unflushed L1 hit: commit and re-dirty in place.
 		t.l1.Touch(l)
 		l.Dirty = true
@@ -477,7 +503,7 @@ func (t *Thread) recordFlush(accept sim.Cycles) {
 // that is the following fence's job — but stalls if too many flushes are
 // outstanding.
 func (t *Thread) NTStore(addr mem.Addr) {
-	t.schedule()
+	t.scheduleShared()
 	start := t.now
 	cpu := t.cpu()
 	t.sys.demand(addr).DemandWriteBytes += mem.CachelineSize
@@ -515,7 +541,7 @@ func (t *Thread) CLFlushOpt(addr mem.Addr) {
 // delayed invalidation (§3.5's bypass window), while clflushopt
 // invalidates immediately.
 func (t *Thread) flush(addr mem.Addr, keepCached, lazy bool) {
-	t.schedule()
+	t.scheduleShared()
 	start := t.now
 	kind := mem.OpCLFlushOpt
 	if lazy || keepCached {
@@ -598,7 +624,7 @@ func (t *Thread) flush(addr mem.Addr, keepCached, lazy bool) {
 // SFence completes when every flush/nt-store issued since the last fence
 // has been accepted into the ADR domain (the WPQ). Loads are not ordered.
 func (t *Thread) SFence() {
-	t.schedule()
+	t.scheduleLocal()
 	start := t.now
 	t.fenceWait()
 	t.lazyFlushed = t.lazyFlushed[:0]
@@ -611,7 +637,7 @@ func (t *Thread) SFence() {
 // effect — a following load of a flushed line must go to memory and
 // stall on the in-flight persist (§3.5).
 func (t *Thread) MFence() {
-	t.schedule()
+	t.scheduleLocal()
 	start := t.now
 	t.fenceWait()
 	t.loadBarrier = t.now
@@ -639,7 +665,7 @@ func (t *Thread) fenceWait() {
 // Compute models n cycles of computation with no memory access.
 // Hyperthread sharing inflates it like other front-end work.
 func (t *Thread) Compute(n sim.Cycles) {
-	t.schedule()
+	t.scheduleLocal()
 	t.advance(t.now + t.feCost(n))
 }
 
@@ -649,7 +675,7 @@ func (t *Thread) Compute(n sim.Cycles) {
 // source's cache footprint, and the destination lines are written
 // normally (§4.3's optimization).
 func (t *Thread) AVXCopy(src, dst mem.Addr) {
-	t.schedule()
+	t.scheduleShared()
 	cpu := t.cpu()
 	srcLine := src.XPLine()
 	t.sys.demand(src).DemandReadBytes += mem.XPLineSize

@@ -13,6 +13,7 @@
 package simbench
 
 import (
+	"fmt"
 	"testing"
 
 	"optanesim/internal/machine"
@@ -79,13 +80,16 @@ func FlushFence(b *testing.B) {
 	sys.Run()
 }
 
-// MultiThread measures the min-time scheduler's baton passing: two
-// threads on separate cores issue hot loads, so every operation boundary
-// is a potential handoff. ns/op is per operation summed over both
-// threads.
-func MultiThread(b *testing.B) {
-	sys := machine.MustNewSystem(machine.G1Config(2))
-	n := b.N/2 + 1
+// multiThread is the shared body for the MultiThread variants: nthreads
+// threads on separate cores issue hot loads to disjoint working sets.
+// The thread bodies share no host state, so the benchmark declares
+// isolation — under the lookahead scheduler every predicted L1 hit then
+// runs inline with no baton pass, which is the scenario the scheduler
+// exists for. ns/op is per operation summed over all threads.
+func multiThread(b *testing.B, nthreads int) {
+	sys := machine.MustNewSystem(machine.G1Config(nthreads))
+	sys.SetThreadsIsolated(true)
+	n := b.N/nthreads + 1
 	body := func(base mem.Addr) func(*machine.Thread) {
 		return func(t *machine.Thread) {
 			for i := 0; i < n; i++ {
@@ -95,10 +99,61 @@ func MultiThread(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	sys.Go("bench-mt0", 0, false, body(mem.PMBase))
-	sys.Go("bench-mt1", 1, false, body(mem.PMBase+workingLines*mem.CachelineSize))
+	for c := 0; c < nthreads; c++ {
+		base := mem.PMBase + mem.Addr(c*workingLines*mem.CachelineSize)
+		sys.Go(fmt.Sprintf("bench-mt%d", c), c, false, body(base))
+	}
 	sys.Run()
 }
+
+// MultiThread measures the scheduler with two contending threads.
+func MultiThread(b *testing.B) { multiThread(b, 2) }
+
+// MultiThread4 measures the scheduler with four contending threads.
+func MultiThread4(b *testing.B) { multiThread(b, 4) }
+
+// MultiThread8 measures the scheduler with eight contending threads.
+func MultiThread8(b *testing.B) { multiThread(b, 8) }
+
+// contended is the shared body for the Contended variants: nthreads
+// threads on separate cores each run the §4.2 persist loop (store, clwb,
+// sfence) against their own PM lines, all funneling through the shared
+// PM controller's WPQ. Unlike the pure-load MultiThread variants, every
+// iteration has a genuinely shared operation (the clwb's writeback), so
+// this measures scheduler overhead when baton passes cannot all be
+// elided — only the store and fence run inline. ns/op is per operation
+// (3 per loop iteration) summed over all threads.
+func contended(b *testing.B, nthreads int) {
+	sys := machine.MustNewSystem(machine.G1Config(nthreads))
+	sys.SetThreadsIsolated(true)
+	n := b.N/(3*nthreads) + 1
+	body := func(base mem.Addr) func(*machine.Thread) {
+		return func(t *machine.Thread) {
+			for i := 0; i < n; i++ {
+				a := base + mem.Addr((i%workingLines)*mem.CachelineSize)
+				t.Store(a)
+				t.CLWB(a)
+				t.SFence()
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for c := 0; c < nthreads; c++ {
+		base := mem.PMBase + mem.Addr(c*workingLines*mem.CachelineSize)
+		sys.Go(fmt.Sprintf("bench-wpq%d", c), c, false, body(base))
+	}
+	sys.Run()
+}
+
+// Contended2 measures two threads contending on the WPQ persist path.
+func Contended2(b *testing.B) { contended(b, 2) }
+
+// Contended4 measures four threads contending on the WPQ persist path.
+func Contended4(b *testing.B) { contended(b, 4) }
+
+// Contended8 measures eight threads contending on the WPQ persist path.
+func Contended8(b *testing.B) { contended(b, 8) }
 
 // attachRecorder turns telemetry on for a benchmark system: every probe
 // goes live and the gauge sampler runs at its default period, so the

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"optanesim/internal/machine"
+	"optanesim/internal/telemetry"
 )
 
 // The BenchmarkSimCore* wrappers expose the shared bodies to `go test
@@ -11,25 +12,49 @@ import (
 // testing.Benchmark so the CI artifact and local runs measure identical
 // code.
 
-func BenchmarkSimCoreLoad(b *testing.B)        { Load(b) }
-func BenchmarkSimCoreStore(b *testing.B)       { Store(b) }
-func BenchmarkSimCoreFlushFence(b *testing.B)  { FlushFence(b) }
-func BenchmarkSimCoreMultiThread(b *testing.B) { MultiThread(b) }
+func BenchmarkSimCoreLoad(b *testing.B)         { Load(b) }
+func BenchmarkSimCoreStore(b *testing.B)        { Store(b) }
+func BenchmarkSimCoreFlushFence(b *testing.B)   { FlushFence(b) }
+func BenchmarkSimCoreMultiThread(b *testing.B)  { MultiThread(b) }
+func BenchmarkSimCoreMultiThread4(b *testing.B) { MultiThread4(b) }
+func BenchmarkSimCoreMultiThread8(b *testing.B) { MultiThread8(b) }
+
+// The Contended* variants keep a shared operation (the clwb writeback
+// through the WPQ) in every loop iteration, so they track scheduler
+// overhead where baton passes cannot all be elided.
+func BenchmarkSimCoreContended2(b *testing.B) { Contended2(b) }
+func BenchmarkSimCoreContended4(b *testing.B) { Contended4(b) }
+func BenchmarkSimCoreContended8(b *testing.B) { Contended8(b) }
 
 // The *Telemetry variants run the same bodies with a live recorder, so
 // `go test -bench SimCore` shows the telemetry overhead side by side.
 func BenchmarkSimCoreLoadTelemetry(b *testing.B)       { LoadTelemetry(b) }
 func BenchmarkSimCoreFlushFenceTelemetry(b *testing.B) { FlushFenceTelemetry(b) }
 
-// TestHotPathAllocs pins the tentpole's zero-allocation guarantee: once
-// a single-thread workload reaches steady state, the Load, Store,
-// CLWB+SFence, and NTStore+SFence paths must not allocate. The
-// measurement runs inside the thread body — legal because a
-// single-thread system executes its workload inline on the calling
-// goroutine — so testing.AllocsPerRun sees exactly the per-op path with
-// no per-Run setup in the way.
+// TestHotPathAllocs pins the zero-allocation guarantee: once a
+// single-thread workload reaches steady state, the Load, Store,
+// CLWB+SFence, and NTStore+SFence paths must not allocate — with
+// telemetry off AND with a live recorder attached. The telemetry-on
+// subtest covers event emission into the preallocated ring and the
+// per-op sampler tick; its sampling period is set beyond the probes'
+// simulated extent so the measured batches never cross the sampler's
+// chunk-boundary block allocation, which is pinned separately (and
+// amortized) by the telemetry package's own alloc test. The measurement
+// runs inside the thread body — legal because a single-thread system
+// executes its workload inline on the calling goroutine — so
+// testing.AllocsPerRun sees exactly the per-op path with no per-Run
+// setup in the way.
 func TestHotPathAllocs(t *testing.T) {
+	t.Run("plain", func(t *testing.T) { testHotPathAllocs(t, false) })
+	t.Run("telemetry", func(t *testing.T) { testHotPathAllocs(t, true) })
+}
+
+func testHotPathAllocs(t *testing.T, telemetryOn bool) {
 	sys := machine.MustNewSystem(machine.G1Config(1))
+	if telemetryOn {
+		rec := telemetry.NewRecorder("alloc-probe", telemetry.Config{SampleEvery: 1 << 40})
+		sys.AttachTelemetry(rec)
+	}
 	type probe struct {
 		name string
 		ops  func(th *machine.Thread)

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+
+	"optanesim/internal/sim"
+)
+
+// TestSamplerSteadyStateAllocs pins the columnar sampler's allocation
+// contract: within a chunk, taking a sample allocates nothing — values
+// append into blocks allocated at chunk boundaries only. This is what
+// keeps the telemetry-on simulator hot path allocation-free between
+// boundaries (simbench's TestHotPathAllocs covers the full machine
+// path).
+func TestSamplerSteadyStateAllocs(t *testing.T) {
+	s := newSampler(1)
+	for i := 0; i < 6; i++ {
+		s.register(fmt.Sprintf("g%d", i), func(now sim.Cycles) float64 { return float64(now) })
+	}
+	// First sample allocates each column's first block.
+	s.sample(0, 0)
+
+	at := sim.Cycles(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.sample(at, at)
+		at++
+	})
+	if allocs != 0 {
+		t.Errorf("within-chunk sample allocates: %.1f allocs/sample (want 0)", allocs)
+	}
+}
+
+// TestSamplerChunkGrowth pins the boundary behaviour: storage grows one
+// fixed block per column per sampleChunk observations and never copies
+// existing data, so the amortized cost stays at one block allocation per
+// chunk regardless of how long a unit runs.
+func TestSamplerChunkGrowth(t *testing.T) {
+	s := newSampler(1)
+	s.register("g", func(now sim.Cycles) float64 { return 1 })
+	total := 2*sampleChunk + 3
+	for i := 0; i < total; i++ {
+		s.sample(sim.Cycles(i), sim.Cycles(i))
+	}
+	if got, want := len(s.times.blocks), 3; got != want {
+		t.Errorf("time column blocks = %d, want %d", got, want)
+	}
+	if got, want := len(s.gauges[0].vals.blocks), 3; got != want {
+		t.Errorf("value column blocks = %d, want %d", got, want)
+	}
+	if s.times.len() != total || s.gauges[0].vals.len() != total {
+		t.Errorf("column lengths = %d/%d, want %d", s.times.len(), s.gauges[0].vals.len(), total)
+	}
+	// Rehydration returns every (t, v) row in order.
+	series := s.snapshot()
+	if len(series) != 1 || len(series[0].Samples) != total {
+		t.Fatalf("snapshot shape wrong: %d series", len(series))
+	}
+	for i, sm := range series[0].Samples {
+		if sm.T != sim.Cycles(i) || sm.V != 1 {
+			t.Fatalf("sample %d = {%d %g}, want {%d 1}", i, sm.T, sm.V, i)
+		}
+	}
+}
