@@ -1,0 +1,107 @@
+// Command calibgate runs the cross-paper calibration suite and gates
+// on drift, the same way benchjson -compare gates perf regressions.
+//
+// It measures the simulator's G1 latency/bandwidth/amplification
+// metrics (internal/calib), prints the per-dataset relative-error
+// tables against the published studies, and — with -compare — fails
+// when any metric moved past -threshold relative to the committed
+// golden.
+//
+// Usage:
+//
+//	calibgate                          print the markdown error tables
+//	calibgate -o report.json -md t.md  also write the CI artifacts
+//	calibgate -compare CALIB_golden.json -threshold 0.10
+//	                                   exit 1 if any metric drifted
+//	calibgate -update CALIB_golden.json
+//	                                   refresh the golden from the
+//	                                   current simulator (review the
+//	                                   diff: the calibration moved)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"optanesim/internal/calib"
+)
+
+func main() {
+	compare := flag.String("compare", "", "golden file to gate against (exit 1 on drift)")
+	threshold := flag.Float64("threshold", 0.10, "relative drift tolerated per metric with -compare")
+	update := flag.String("update", "", "write a fresh golden to this path and exit")
+	jsonOut := flag.String("o", "", "write the full calibration report (JSON) to this path")
+	mdOut := flag.String("md", "", "write the markdown error tables to this path")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "calibgate: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*compare, *threshold, *update, *jsonOut, *mdOut); err != nil {
+		fmt.Fprintln(os.Stderr, "calibgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(compare string, threshold float64, update, jsonOut, mdOut string) error {
+	if threshold < 0 {
+		return fmt.Errorf("-threshold must be non-negative, got %v", threshold)
+	}
+	sim := calib.Measure()
+
+	if update != "" {
+		data, err := json.MarshalIndent(calib.NewGolden(sim), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(update, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d metrics)\n", update, len(sim))
+		return nil
+	}
+
+	rep := calib.BuildReport(sim)
+	md := rep.Markdown()
+	fmt.Print(md)
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if mdOut != "" {
+		if err := os.WriteFile(mdOut, []byte(md), 0o644); err != nil {
+			return err
+		}
+	}
+
+	if compare == "" {
+		return nil
+	}
+	data, err := os.ReadFile(compare)
+	if err != nil {
+		return err
+	}
+	golden, err := calib.ParseGolden(data)
+	if err != nil {
+		return err
+	}
+	drifts := calib.CompareGolden(golden, sim, threshold)
+	if len(drifts) > 0 {
+		fmt.Println()
+		for _, d := range drifts {
+			fmt.Println("DRIFT", d)
+		}
+		return fmt.Errorf("%d metric(s) drifted past %.0f%% vs %s (refresh with -update if the model change is intended)",
+			len(drifts), 100*threshold, compare)
+	}
+	fmt.Printf("\ncalibration holds: %d metrics within %.0f%% of %s\n", len(sim), 100*threshold, compare)
+	return nil
+}

@@ -12,8 +12,11 @@
 //
 // where experiment is one of: fig2 fig3 fig4 fig6 fig7 fig8 table1
 // fig10 fig12 fig13 fig14 ablation bandwidth ycsb sec33 latency indexes
-// all. -quick runs each experiment at reduced scale (useful for smoke
-// tests); the default scale is what EXPERIMENTS.md records.
+// crashmatrix replay all. -quick runs each experiment at reduced scale
+// (useful for smoke tests); the default scale is what EXPERIMENTS.md
+// records. The replay experiment runs the bundled external traces
+// through the internal/replay frontend (see EXPERIMENTS.md, "Trace
+// replay & calibration").
 //
 // Independent experiment units (e.g. the two generations of fig2, the
 // eight panels of fig8) execute concurrently on a pool of -j workers,

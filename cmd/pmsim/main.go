@@ -30,6 +30,13 @@
 // crash-injection matrix over every persistent index (btree, cceh,
 // radix, kvstore), exiting non-zero if any enumerated post-crash image
 // fails its structure's recovery check.
+//
+// With -replay, pmsim skips the script engine and replays an external
+// memory-access trace (see internal/replay for the Cori- and
+// Ramulator-style line formats) on the testbed:
+//
+//	pmsim -replay trace.cori -gen g1 -threads 2 -passes 3
+//	pmsim -replay - -format ram -lenient   # trace from stdin
 package main
 
 import (
@@ -39,6 +46,8 @@ import (
 	"os"
 
 	"optanesim/internal/bench"
+	"optanesim/internal/machine"
+	"optanesim/internal/replay"
 	"optanesim/internal/runner"
 	"optanesim/internal/script"
 	"optanesim/internal/sim"
@@ -52,15 +61,26 @@ var (
 	eventsOut   = flag.String("events-out", "", "write the structured event stream as JSON lines to this file")
 	samplesOut  = flag.String("sample-out", "", "write the gauge time-series as JSON lines to this file")
 	sampleEvery = flag.Int64("sample-every", int64(telemetry.DefaultSampleEvery), "simulated cycles between gauge samples")
+
+	replayFile   = flag.String("replay", "", "replay this memory-access trace file ('-' for stdin) instead of running a script")
+	gen          = flag.String("gen", "g1", "with -replay: testbed generation, g1 or g2")
+	replayFormat = flag.String("format", "auto", "with -replay: trace line format, auto, cori or ram")
+	threads      = flag.Int("threads", 1, "with -replay: simulated threads the trace ops are assigned to")
+	passes       = flag.Int("passes", 1, "with -replay: times each thread replays its op stream")
+	assign       = flag.String("assign", "trace", "with -replay: thread assignment policy, trace, addr or rr")
+	lenient      = flag.Bool("lenient", false, "with -replay: skip malformed trace lines instead of failing")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pmsim <script.pmsim | -> | pmsim -crashmatrix [-quick]")
+		fmt.Fprintln(os.Stderr, "usage: pmsim <script.pmsim | -> | pmsim -crashmatrix [-quick] | pmsim -replay <trace | ->")
 	}
 	flag.Parse()
 	if *crashMatrix {
 		os.Exit(runCrashMatrix())
+	}
+	if *replayFile != "" {
+		os.Exit(runReplay())
 	}
 	if flag.NArg() != 1 {
 		flag.Usage()
@@ -145,6 +165,69 @@ func writeTelemetry(rec *telemetry.Recording) error {
 		}
 	}
 	return nil
+}
+
+// runReplay parses the -replay trace and executes it on the testbed,
+// printing per-thread stats and the traffic counters.
+func runReplay() int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		return 1
+	}
+	format, err := replay.ParseFormat(*replayFormat)
+	if err != nil {
+		return fail(err)
+	}
+	pol, err := replay.ParseAssign(*assign)
+	if err != nil {
+		return fail(err)
+	}
+	var cfg machine.Config
+	switch *gen {
+	case "g1":
+		cfg = machine.G1Config(*threads)
+	case "g2":
+		cfg = machine.G2Config(*threads)
+	default:
+		return fail(fmt.Errorf("-gen must be g1 or g2, got %q", *gen))
+	}
+
+	in := os.Stdin
+	name := "stdin"
+	if *replayFile != "-" {
+		f, err := os.Open(*replayFile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		in, name = f, *replayFile
+	}
+	ops, stats, err := replay.ReadAll(in, replay.Options{Format: format, Strict: !*lenient})
+	if err != nil {
+		return fail(err)
+	}
+	if len(ops) == 0 {
+		return fail(fmt.Errorf("%s: trace has no operations", name))
+	}
+
+	res := replay.Exec(cfg, ops, replay.ExecOptions{
+		Threads: *threads,
+		Passes:  *passes,
+		Assign:  pol,
+	})
+	fmt.Printf("replayed %s: %d ops (%s format, %d lines, %d skipped), %d machine ops over %d thread(s), %d pass(es)\n",
+		name, stats.Ops, stats.Format, stats.Lines, stats.Skipped, res.Ops, *threads, *passes)
+	fmt.Printf("simulated %d cycles\n\n", res.EndCycles)
+	for _, t := range res.Threads {
+		cpo := 0.0
+		if t.Ops > 0 {
+			cpo = float64(t.Cycles) / float64(t.Ops)
+		}
+		fmt.Printf("thread %-12s %10d ops  %12d cycles  (%.1f cycles/op)\n", t.Name, t.Ops, t.Cycles, cpo)
+	}
+	fmt.Println()
+	fmt.Println(res.PM.String())
+	return 0
 }
 
 // runCrashMatrix executes the crashmatrix experiment units on the

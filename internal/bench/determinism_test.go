@@ -24,13 +24,14 @@ func determinismUnits(t *testing.T) []bench.Unit {
 	o := bench.Options{Quick: true}
 	var units []bench.Unit
 	keep := map[string]func(bench.Unit) bool{
-		"fig2":  func(bench.Unit) bool { return true },
-		"fig7":  func(bench.Unit) bool { return true },
-		"fig8":  func(u bench.Unit) bool { return u.Name == "G1 strict" },
-		"sec33": func(bench.Unit) bool { return true },
-		"ycsb":  func(bench.Unit) bool { return true },
+		"fig2":   func(bench.Unit) bool { return true },
+		"fig7":   func(bench.Unit) bool { return true },
+		"fig8":   func(u bench.Unit) bool { return u.Name == "G1 strict" },
+		"sec33":  func(bench.Unit) bool { return true },
+		"ycsb":   func(bench.Unit) bool { return true },
+		"replay": func(bench.Unit) bool { return true },
 	}
-	for _, name := range []string{"fig2", "fig7", "fig8", "sec33", "ycsb"} {
+	for _, name := range []string{"fig2", "fig7", "fig8", "sec33", "ycsb", "replay"} {
 		exp, ok := bench.ExperimentUnits(name, o)
 		if !ok {
 			t.Fatalf("experiment %q not registered", name)
@@ -92,6 +93,27 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	again := runStructured(t, units, 8)
 	if !bytes.Equal(par, again) {
 		t.Fatalf("two -j 8 runs differ:\n%s", firstLineDiff(par, again))
+	}
+}
+
+// TestReplayDeterminism pins the trace-replay units' guarantees in
+// isolation (and without the -short skip of the full sweep): the
+// structured JSONL of the replay units is byte-identical between -j 1
+// and -j 8, and replaying the same bundled traces a second time
+// reproduces it bit for bit.
+func TestReplayDeterminism(t *testing.T) {
+	units, ok := bench.ExperimentUnits("replay", bench.Options{Quick: true})
+	if !ok {
+		t.Fatal("replay experiment not registered")
+	}
+	seq := runStructured(t, units, 1)
+	par := runStructured(t, units, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("replay results differ between -j 1 and -j 8:\n%s", firstLineDiff(seq, par))
+	}
+	again := runStructured(t, units, 1)
+	if !bytes.Equal(seq, again) {
+		t.Fatalf("replaying the same traces twice differs:\n%s", firstLineDiff(seq, again))
 	}
 }
 

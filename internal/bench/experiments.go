@@ -146,6 +146,7 @@ var registry = []experimentSpec{
 	{"latency", latencyUnits},
 	{"indexes", indexesUnits},
 	{"crashmatrix", crashmatrixUnits},
+	{"replay", replayUnits},
 }
 
 // ExperimentNames lists the registered experiments in the paper's

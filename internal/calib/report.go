@@ -1,0 +1,207 @@
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion stamps every report and golden this package emits, so a
+// format change invalidates stale files loudly instead of comparing
+// garbage.
+const SchemaVersion = 1
+
+// MetricError is one row of a dataset's relative-error table.
+type MetricError struct {
+	Metric string  `json:"metric"`
+	Unit   string  `json:"unit"`
+	Sim    float64 `json:"sim"`
+	Ref    float64 `json:"ref"`
+	// RelErr is |sim-ref|/ref.
+	RelErr float64 `json:"rel_err"`
+	// Note is the reference value's provenance note.
+	Note string `json:"note,omitempty"`
+}
+
+// DatasetReport is the simulator's error table against one study.
+type DatasetReport struct {
+	Dataset  string        `json:"dataset"`
+	Version  string        `json:"version"`
+	Source   string        `json:"source"`
+	Hardware string        `json:"hardware"`
+	Errors   []MetricError `json:"errors"`
+	// MeanRelErr averages RelErr over the dataset's metrics.
+	MeanRelErr float64 `json:"mean_rel_err"`
+}
+
+// Report is the full calibration artifact: the raw simulator values
+// plus one error table per reference dataset.
+type Report struct {
+	SchemaVersion int             `json:"schema_version"`
+	Sim           []SimValue      `json:"sim"`
+	Datasets      []DatasetReport `json:"datasets"`
+}
+
+// BuildReport computes the per-dataset relative-error tables for the
+// given simulator values (normally Measure()'s output). Metrics a
+// dataset does not publish are simply absent from its table.
+func BuildReport(sim []SimValue) Report {
+	byMetric := make(map[string]SimValue, len(sim))
+	for _, v := range sim {
+		byMetric[v.Metric] = v
+	}
+	rep := Report{SchemaVersion: SchemaVersion, Sim: sim}
+	for _, ds := range Datasets() {
+		dr := DatasetReport{
+			Dataset:  ds.Name,
+			Version:  ds.Version,
+			Source:   ds.Source,
+			Hardware: ds.Hardware,
+		}
+		var sum float64
+		for _, ref := range ds.Refs {
+			sv, ok := byMetric[ref.Metric]
+			if !ok {
+				continue
+			}
+			e := MetricError{
+				Metric: ref.Metric,
+				Unit:   ref.Unit,
+				Sim:    sv.Value,
+				Ref:    ref.Value,
+				RelErr: math.Abs(sv.Value-ref.Value) / ref.Value,
+				Note:   ref.Note,
+			}
+			dr.Errors = append(dr.Errors, e)
+			sum += e.RelErr
+		}
+		if len(dr.Errors) > 0 {
+			dr.MeanRelErr = sum / float64(len(dr.Errors))
+		}
+		rep.Datasets = append(rep.Datasets, dr)
+	}
+	return rep
+}
+
+// Markdown renders the report as the human-readable calibration
+// artifact CI uploads: one table per reference dataset.
+func (r Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString("# Calibration error tables\n")
+	for _, dr := range r.Datasets {
+		fmt.Fprintf(&b, "\n## %s %s\n\n", dr.Dataset, dr.Version)
+		fmt.Fprintf(&b, "Source: %s  \nHardware: %s\n\n", dr.Source, dr.Hardware)
+		b.WriteString("| metric | unit | sim | published | rel. error |\n")
+		b.WriteString("|---|---|---:|---:|---:|\n")
+		for _, e := range dr.Errors {
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %.1f%% |\n",
+				e.Metric, e.Unit, formatValue(e.Sim), formatValue(e.Ref), 100*e.RelErr)
+		}
+		fmt.Fprintf(&b, "\nMean relative error: %.1f%%\n", 100*dr.MeanRelErr)
+	}
+	return b.String()
+}
+
+// formatValue renders a metric value with enough but not excess
+// precision for the markdown table.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Golden is the committed calibration anchor: the simulator's own
+// metric values at the commit the golden was last refreshed. The CI
+// gate compares a fresh Measure() against it — the simulator is
+// deterministic, so any drift is a model change that must be reviewed
+// (and the golden refreshed with calibgate -update).
+type Golden struct {
+	SchemaVersion int        `json:"schema_version"`
+	Values        []SimValue `json:"values"`
+}
+
+// NewGolden wraps simulator values as a golden.
+func NewGolden(sim []SimValue) Golden {
+	return Golden{SchemaVersion: SchemaVersion, Values: sim}
+}
+
+// ParseGolden decodes and validates a golden file's bytes.
+func ParseGolden(data []byte) (Golden, error) {
+	var g Golden
+	if err := json.Unmarshal(data, &g); err != nil {
+		return Golden{}, fmt.Errorf("calib: parsing golden: %w", err)
+	}
+	if g.SchemaVersion != SchemaVersion {
+		return Golden{}, fmt.Errorf("calib: golden schema version %d, want %d (refresh with calibgate -update)",
+			g.SchemaVersion, SchemaVersion)
+	}
+	if len(g.Values) == 0 {
+		return Golden{}, fmt.Errorf("calib: golden has no values")
+	}
+	return g, nil
+}
+
+// Drift is one metric whose current value moved past the gate
+// threshold relative to the committed golden (or is missing on either
+// side).
+type Drift struct {
+	Metric string  `json:"metric"`
+	Golden float64 `json:"golden"`
+	Now    float64 `json:"now"`
+	// Rel is |now-golden|/|golden| (0 when Missing).
+	Rel float64 `json:"rel"`
+	// Missing marks a metric present in only one of the two sets.
+	Missing bool `json:"missing,omitempty"`
+}
+
+func (d Drift) String() string {
+	if d.Missing {
+		if d.Golden == 0 {
+			return fmt.Sprintf("%s: new metric (not in golden)", d.Metric)
+		}
+		return fmt.Sprintf("%s: in golden but no longer measured", d.Metric)
+	}
+	return fmt.Sprintf("%s: golden %g -> now %g (%.1f%% drift)", d.Metric, d.Golden, d.Now, 100*d.Rel)
+}
+
+// CompareGolden checks current simulator values against a golden and
+// returns every metric drifting past threshold (relative), plus any
+// vocabulary mismatch. An empty result means the calibration holds.
+func CompareGolden(g Golden, cur []SimValue, threshold float64) []Drift {
+	gold := make(map[string]float64, len(g.Values))
+	for _, v := range g.Values {
+		gold[v.Metric] = v.Value
+	}
+	now := make(map[string]float64, len(cur))
+	for _, v := range cur {
+		now[v.Metric] = v.Value
+	}
+	var drifts []Drift
+	for _, v := range cur {
+		gv, ok := gold[v.Metric]
+		if !ok {
+			drifts = append(drifts, Drift{Metric: v.Metric, Now: v.Value, Missing: true})
+			continue
+		}
+		var rel float64
+		switch {
+		case gv != 0:
+			rel = math.Abs(v.Value-gv) / math.Abs(gv)
+		case v.Value != 0:
+			rel = math.Inf(1)
+		}
+		if rel > threshold {
+			drifts = append(drifts, Drift{Metric: v.Metric, Golden: gv, Now: v.Value, Rel: rel})
+		}
+	}
+	for _, v := range g.Values {
+		if _, ok := now[v.Metric]; !ok {
+			drifts = append(drifts, Drift{Metric: v.Metric, Golden: v.Value, Missing: true})
+		}
+	}
+	sort.Slice(drifts, func(i, j int) bool { return drifts[i].Metric < drifts[j].Metric })
+	return drifts
+}

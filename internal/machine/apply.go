@@ -1,0 +1,35 @@
+package machine
+
+import (
+	"fmt"
+
+	"optanesim/internal/mem"
+)
+
+// Apply executes one memory operation selected by its mem.OpKind tag —
+// the entry point for op streams that arrive as data rather than code,
+// such as replayed external traces (internal/replay). Fence kinds ignore
+// addr. OpCLFlush is modeled as OpCLFlushOpt (the legacy encoding maps
+// to the same write-back-and-invalidate behaviour); OpCompute and
+// OpAVXCopy carry operands a (kind, addr) pair cannot express and are
+// rejected.
+func (t *Thread) Apply(kind mem.OpKind, addr mem.Addr) {
+	switch kind {
+	case mem.OpLoad:
+		t.Load(addr)
+	case mem.OpStore:
+		t.Store(addr)
+	case mem.OpNTStore:
+		t.NTStore(addr)
+	case mem.OpCLWB:
+		t.CLWB(addr)
+	case mem.OpCLFlushOpt, mem.OpCLFlush:
+		t.CLFlushOpt(addr)
+	case mem.OpSFence:
+		t.SFence()
+	case mem.OpMFence:
+		t.MFence()
+	default:
+		panic(fmt.Sprintf("machine: Apply: unsupported op kind %v", kind))
+	}
+}
