@@ -5,18 +5,25 @@
 // Usage:
 //
 //	optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going]
-//	         [-cpuprofile f] [-memprofile f] [-progress]
+//	         [-cpuprofile f] [-memprofile f] [-progress] [-seed N] [-fault SPEC]
 //	         [-trace-out f] [-events-out f] [-sample-out f]
 //	         [-sample-every N] [-event-cap N] [-telemetry-addr a]
 //	         <experiment>...
 //
 // where experiment is one of: fig2 fig3 fig4 fig6 fig7 fig8 table1
 // fig10 fig12 fig13 fig14 ablation bandwidth ycsb sec33 latency indexes
-// crashmatrix replay all. -quick runs each experiment at reduced scale
-// (useful for smoke tests); the default scale is what EXPERIMENTS.md
-// records. The replay experiment runs the bundled external traces
-// through the internal/replay frontend (see EXPERIMENTS.md, "Trace
-// replay & calibration").
+// crashmatrix replay faultmatrix all. -quick runs each experiment at
+// reduced scale (useful for smoke tests); the default scale is what
+// EXPERIMENTS.md records. The replay experiment runs the bundled
+// external traces through the internal/replay frontend (see
+// EXPERIMENTS.md, "Trace replay & calibration").
+//
+// -seed N overrides the sampling seeds of the injection matrices
+// (crashmatrix, faultmatrix): unit i derives N+i, so a sampled failure
+// is reproducible. -fault SPEC (see internal/fault.ParseSpec, e.g.
+// 'poison=64,thermal=400000/200000/150') degrades the PM module of
+// every metered experiment system — the faultmatrix experiment ignores
+// it and builds its own per-cell injectors.
 //
 // Independent experiment units (e.g. the two generations of fig2, the
 // eight panels of fig8) execute concurrently on a pool of -j workers,
@@ -45,6 +52,8 @@ import (
 	"time"
 
 	"optanesim/internal/bench"
+	"optanesim/internal/fault"
+	"optanesim/internal/mem"
 	"optanesim/internal/runner"
 )
 
@@ -57,6 +66,8 @@ var (
 	keepGoing  = flag.Bool("keep-going", false, "run every unit even after one fails")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	seed       = flag.Uint64("seed", 0, "override the injection matrices' sampling seeds (unit i uses seed+i)")
+	faultSpec  = flag.String("fault", "", "degrade every metered experiment system per this fault spec, e.g. 'poison=64,thermal=400000/200000/150'")
 )
 
 func main() {
@@ -93,7 +104,15 @@ func main() {
 	// Flatten every selected experiment's units into one task list so
 	// the pool stays busy across experiment boundaries, remembering
 	// which result slots belong to which experiment.
-	opts := bench.Options{Quick: *quick, Telemetry: telemetryFactory()}
+	opts := bench.Options{Quick: *quick, Telemetry: telemetryFactory(), Seed: *seed}
+	if *faultSpec != "" {
+		cfg, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "optbench: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Fault = &cfg
+	}
 	var tasks []runner.Task
 	slots := make(map[string][]int, len(run))
 	for _, name := range run {
@@ -164,7 +183,14 @@ func main() {
 	fmt.Printf("[total: %d experiments, %d units, -j %d, %v]\n",
 		len(run), len(tasks), *jobs, time.Since(start).Round(time.Millisecond))
 	if failed {
-		fmt.Fprintf(os.Stderr, "optbench: %d of %d units failed:\n", len(failures), len(tasks))
+		// The typed-error summary classifies failures (panics, timeouts,
+		// cancellations) and lets poison errors be counted as such.
+		s := runner.Summarize(results)
+		fmt.Fprintf(os.Stderr, "optbench: %s", s)
+		if n := s.Count(mem.IsPoison); n > 0 {
+			fmt.Fprintf(os.Stderr, " (%d poison errors)", n)
+		}
+		fmt.Fprintln(os.Stderr, ":")
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "  %s\n", f)
 		}
@@ -235,6 +261,6 @@ func writeJSONL(dir, name string, results []bench.UnitResult) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] [-cpuprofile f] [-memprofile f] [-progress] [-trace-out f] [-events-out f] [-sample-out f] [-sample-every N] [-event-cap N] [-telemetry-addr a] <experiment>...\nexperiments: %v all\n",
+	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] [-cpuprofile f] [-memprofile f] [-progress] [-seed N] [-fault SPEC] [-trace-out f] [-events-out f] [-sample-out f] [-sample-every N] [-event-cap N] [-telemetry-addr a] <experiment>...\nexperiments: %v all\n",
 		bench.ExperimentNames())
 }

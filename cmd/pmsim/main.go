@@ -37,6 +37,15 @@
 //
 //	pmsim -replay trace.cori -gen g1 -threads 2 -passes 3
 //	pmsim -replay - -format ram -lenient   # trace from stdin
+//
+// With -faultmatrix, pmsim sweeps the runtime fault-injection matrix
+// (media UEs, thermal throttling, controller stalls — see
+// internal/fault) over hardened index read paths and timed workloads.
+// Script and replay runs accept -fault SPEC to degrade the simulated
+// module, e.g.:
+//
+//	pmsim -fault 'poison=64,thermal=400000/200000/150' workload.pmsim
+//	pmsim -replay trace.cori -fault 'stall=200000/40000,seed=7'
 package main
 
 import (
@@ -46,7 +55,9 @@ import (
 	"os"
 
 	"optanesim/internal/bench"
+	"optanesim/internal/fault"
 	"optanesim/internal/machine"
+	"optanesim/internal/mem"
 	"optanesim/internal/replay"
 	"optanesim/internal/runner"
 	"optanesim/internal/script"
@@ -56,7 +67,10 @@ import (
 
 var (
 	crashMatrix = flag.Bool("crashmatrix", false, "run the power-failure injection matrix over all persistent indexes")
-	quick       = flag.Bool("quick", false, "with -crashmatrix: reduced-scale traces")
+	faultMatrix = flag.Bool("faultmatrix", false, "run the runtime fault-injection matrix (media UEs, thermal, stalls)")
+	quick       = flag.Bool("quick", false, "with -crashmatrix/-faultmatrix: reduced-scale traces")
+	seed        = flag.Uint64("seed", 0, "with -crashmatrix/-faultmatrix: override the matrix sampling seeds (unit i uses seed+i)")
+	faultSpec   = flag.String("fault", "", "degrade the PM module per this fault spec, e.g. 'poison=64,thermal=400000/200000/150,stall=200000/40000,seed=7'")
 	traceOut    = flag.String("trace-out", "", "write a Chrome trace-event timeline of the run to this file")
 	eventsOut   = flag.String("events-out", "", "write the structured event stream as JSON lines to this file")
 	samplesOut  = flag.String("sample-out", "", "write the gauge time-series as JSON lines to this file")
@@ -73,11 +87,14 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: pmsim <script.pmsim | -> | pmsim -crashmatrix [-quick] | pmsim -replay <trace | ->")
+		fmt.Fprintln(os.Stderr, "usage: pmsim <script.pmsim | -> | pmsim -crashmatrix [-quick] [-seed N] | pmsim -faultmatrix [-quick] [-seed N] | pmsim -replay <trace | ->")
 	}
 	flag.Parse()
 	if *crashMatrix {
-		os.Exit(runCrashMatrix())
+		os.Exit(runMatrix("crashmatrix"))
+	}
+	if *faultMatrix {
+		os.Exit(runMatrix("faultmatrix"))
 	}
 	if *replayFile != "" {
 		os.Exit(runReplay())
@@ -110,7 +127,12 @@ func main() {
 		}
 		rec = telemetry.NewRecorder(name, telemetry.Config{SampleEvery: sim.Cycles(*sampleEvery)})
 	}
-	res, err := script.RunRecorded(prog, rec)
+	inj, err := parseFault()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pmsim:", err)
+		os.Exit(1)
+	}
+	res, err := script.RunWith(prog, rec, inj)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmsim:", err)
 		os.Exit(1)
@@ -128,6 +150,32 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(res.Report)
+	printFaultStats(inj)
+}
+
+// parseFault builds the -fault injector, or nil when the flag is unset.
+func parseFault() (*fault.Injector, error) {
+	if *faultSpec == "" {
+		return nil, nil
+	}
+	cfg, err := fault.ParseSpec(*faultSpec)
+	if err != nil {
+		return nil, err
+	}
+	return fault.New(cfg), nil
+}
+
+// printFaultStats appends the injector's accounting to a run's report.
+func printFaultStats(inj *fault.Injector) {
+	if inj == nil {
+		return
+	}
+	st := inj.Stats()
+	fmt.Printf("\nfaults (%s):\n", inj)
+	fmt.Printf("  poison: %d armed, %d media reads hit, %d checked hits, %d unchecked hits, %d scrubbed\n",
+		st.PoisonArmed, st.MediaPoisonReads, st.PoisonHits, st.UnreportedHits, st.Scrubbed)
+	fmt.Printf("  thermal: %d ops derated (+%d cycles)\n", st.ThrottledOps, st.ThrottleExtraCycles)
+	fmt.Printf("  stalls: %d writes paused (%d cycles)\n", st.Stalls, st.StallCycles)
 }
 
 // writeTelemetry exports the run's recording to every requested sink.
@@ -210,11 +258,24 @@ func runReplay() int {
 		return fail(fmt.Errorf("%s: trace has no operations", name))
 	}
 
-	res := replay.Exec(cfg, ops, replay.ExecOptions{
+	inj, err := parseFault()
+	if err != nil {
+		return fail(err)
+	}
+	xo := replay.ExecOptions{
 		Threads: *threads,
 		Passes:  *passes,
 		Assign:  pol,
-	})
+	}
+	if inj != nil {
+		// Degrade the replay system through the exec hook: faults attach
+		// after construction, before the run.
+		xo.Run = func(sys *machine.System) sim.Cycles {
+			sys.AttachFaults(inj)
+			return sys.Run()
+		}
+	}
+	res := replay.Exec(cfg, ops, xo)
 	fmt.Printf("replayed %s: %d ops (%s format, %d lines, %d skipped), %d machine ops over %d thread(s), %d pass(es)\n",
 		name, stats.Ops, stats.Format, stats.Lines, stats.Skipped, res.Ops, *threads, *passes)
 	fmt.Printf("simulated %d cycles\n\n", res.EndCycles)
@@ -227,28 +288,38 @@ func runReplay() int {
 	}
 	fmt.Println()
 	fmt.Println(res.PM.String())
+	printFaultStats(inj)
 	return 0
 }
 
-// runCrashMatrix executes the crashmatrix experiment units on the
-// worker pool and reports per-structure outcomes.
-func runCrashMatrix() int {
-	units, _ := bench.ExperimentUnits("crashmatrix", bench.Options{Quick: *quick})
+// runMatrix executes one injection-matrix experiment (crashmatrix or
+// faultmatrix) on the worker pool and reports per-unit outcomes, with
+// the typed-error summary (and the sampling seed context a failure
+// needs to reproduce) on exit.
+func runMatrix(name string) int {
+	units, _ := bench.ExperimentUnits(name, bench.Options{Quick: *quick, Seed: *seed})
 	tasks := make([]runner.Task, len(units))
 	for i, u := range units {
 		u := u
 		tasks[i] = runner.Task{ID: u.ID(), Run: func() (any, error) { return u.Run(), nil }}
 	}
-	failed := false
-	for _, r := range runner.Run(tasks, 0) {
+	results := runner.Run(tasks, 0)
+	for _, r := range results {
 		if r.Err != nil {
 			fmt.Fprintf(os.Stderr, "pmsim: %s: %v\n", r.ID, r.Err)
-			failed = true
 			continue
 		}
 		fmt.Println(r.Value.(bench.UnitResult).Text)
 	}
-	if failed {
+	if s := runner.Summarize(results); s.Failed() {
+		fmt.Fprintf(os.Stderr, "pmsim: %s: %s", name, s)
+		if n := s.Count(mem.IsPoison); n > 0 {
+			fmt.Fprintf(os.Stderr, " (%d poison errors)", n)
+		}
+		if *seed != 0 {
+			fmt.Fprintf(os.Stderr, " [seed override %d]", *seed)
+		}
+		fmt.Fprintln(os.Stderr)
 		return 1
 	}
 	return 0

@@ -24,7 +24,11 @@ import (
 
 // CrashMatrixRecord is the structured result of one structure's matrix.
 type CrashMatrixRecord struct {
-	Structure  string `json:"structure"`
+	Structure string `json:"structure"`
+	// Seed is the crash-point/state sampling seed the unit ran with
+	// (Options.Seed+i when overridden from the CLI, the fixed built-in
+	// default otherwise), recorded so any run can be reproduced.
+	Seed       uint64 `json:"seed"`
 	Ops        int    `json:"ops"`
 	Events     int    `json:"events"`
 	Points     int    `json:"points"`
@@ -101,28 +105,34 @@ func checkCommitted(ops []crashTraceOp, n int, get func(key uint64) (uint64, boo
 }
 
 // runCrashUnit executes a traced run and renders the outcome, panicking
-// on violations so the unit fails loudly through the runner.
-func runCrashUnit(structure string, ops int, outcome crash.Outcome) UnitResult {
+// on violations so the unit fails loudly through the runner. The
+// sampling seed rides along in both the record and the failure message
+// so a sampled violation is reproducible (pmsim -crashmatrix -seed N).
+func runCrashUnit(structure string, seed uint64, ops int, outcome crash.Outcome) UnitResult {
 	if outcome.Failed() {
-		panic(fmt.Sprintf("crashmatrix/%s: %d violations, first: %v",
-			structure, len(outcome.Violations), outcome.Violations[0]))
+		panic(fmt.Sprintf("crashmatrix/%s (seed %d): %d violations, first: %v",
+			structure, seed, len(outcome.Violations), outcome.Violations[0]))
 	}
 	rec := CrashMatrixRecord{
 		Structure: structure,
+		Seed:      seed,
 		Ops:       ops,
 		Events:    outcome.Events,
 		Points:    outcome.Points,
 		States:    outcome.States,
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "crashmatrix %-8s  %5d ops  %6d events  %4d crash points  %5d states  0 violations",
-		structure, rec.Ops, rec.Events, rec.Points, rec.States)
+	fmt.Fprintf(&b, "crashmatrix %-8s  %5d ops  %6d events  %4d crash points  %5d states  0 violations  (seed %d)",
+		structure, rec.Ops, rec.Events, rec.Points, rec.States, rec.Seed)
 	return UnitResult{Experiment: "crashmatrix", Unit: structure, Data: rec, Text: b.String()}
 }
 
 func crashmatrixUnits(o Options) []Unit {
 	nOps := o.scale(400, 80)
 	pts := o.scale(60, 20)
+	seeds := [4]uint64{
+		o.matrixSeed(11, 0), o.matrixSeed(12, 1), o.matrixSeed(13, 2), o.matrixSeed(14, 3),
+	}
 	return []Unit{
 		{Experiment: "crashmatrix", Name: "btree", Run: func() UnitResult {
 			ops := crashTrace(41, nOps, 150, 5)
@@ -143,7 +153,7 @@ func crashmatrixUnits(o Options) []Unit {
 				done++
 			}
 			super, logBase, flagAddr := tr.Super(), w.LogBase(), w.FlagAddr()
-			out := tk.Check(crash.Options{MaxPoints: pts, MaxStatesPerPoint: 6, Seed: 11},
+			out := tk.Check(crash.Options{MaxPoints: pts, MaxStatesPerPoint: 6, Seed: seeds[0]},
 				func(img *pmem.Heap, meta any) error {
 					n := meta.(int)
 					s2 := pmem.NewFreeSession(img)
@@ -155,7 +165,7 @@ func crashmatrixUnits(o Options) []Unit {
 					}
 					return checkCommitted(ops, n, func(k uint64) (uint64, bool) { return t2.Get(s2, k) })
 				})
-			return runCrashUnit("btree", len(ops), out)
+			return runCrashUnit("btree", seeds[0], len(ops), out)
 		}},
 		{Experiment: "crashmatrix", Name: "cceh", Run: func() UnitResult {
 			ops := crashTrace(42, nOps*3, nOps*2, 8)
@@ -175,7 +185,7 @@ func crashmatrixUnits(o Options) []Unit {
 				done++
 			}
 			super := tb.Super()
-			out := tk.Check(crash.Options{MaxPoints: pts, MaxStatesPerPoint: 6, Seed: 12},
+			out := tk.Check(crash.Options{MaxPoints: pts, MaxStatesPerPoint: 6, Seed: seeds[1]},
 				func(img *pmem.Heap, meta any) error {
 					n := meta.(int)
 					s2 := pmem.NewFreeSession(img)
@@ -186,7 +196,7 @@ func crashmatrixUnits(o Options) []Unit {
 					}
 					return checkCommitted(ops, n, func(k uint64) (uint64, bool) { return t2.Lookup(s2, k) })
 				})
-			return runCrashUnit("cceh", len(ops), out)
+			return runCrashUnit("cceh", seeds[1], len(ops), out)
 		}},
 		{Experiment: "crashmatrix", Name: "radix", Run: func() UnitResult {
 			ops := crashTrace(43, nOps, 300, 6)
@@ -206,7 +216,7 @@ func crashmatrixUnits(o Options) []Unit {
 				done++
 			}
 			root := tr.Root()
-			out := tk.Check(crash.Options{MaxPoints: pts, MaxStatesPerPoint: 6, Seed: 13},
+			out := tk.Check(crash.Options{MaxPoints: pts, MaxStatesPerPoint: 6, Seed: seeds[2]},
 				func(img *pmem.Heap, meta any) error {
 					n := meta.(int)
 					s2 := pmem.NewFreeSession(img)
@@ -216,7 +226,7 @@ func crashmatrixUnits(o Options) []Unit {
 					}
 					return checkCommitted(ops, n, func(k uint64) (uint64, bool) { return t2.Get(s2, k) })
 				})
-			return runCrashUnit("radix", len(ops), out)
+			return runCrashUnit("radix", seeds[2], len(ops), out)
 		}},
 		{Experiment: "crashmatrix", Name: "kvstore", Run: func() UnitResult {
 			ops := crashTrace(44, nOps, 200, 0) // puts only
@@ -234,7 +244,7 @@ func crashmatrixUnits(o Options) []Unit {
 				done++
 			}
 			logBase, logCap := st.LogBase(), st.LogCap()
-			out := tk.Check(crash.Options{MaxPoints: pts, MaxStatesPerPoint: 5, Seed: 14},
+			out := tk.Check(crash.Options{MaxPoints: pts, MaxStatesPerPoint: 5, Seed: seeds[3]},
 				func(img *pmem.Heap, meta any) error {
 					n := meta.(int)
 					// Batched mode acknowledges up to a batch of puts while
@@ -268,7 +278,7 @@ func crashmatrixUnits(o Options) []Unit {
 					}
 					return nil
 				})
-			return runCrashUnit("kvstore", len(ops), out)
+			return runCrashUnit("kvstore", seeds[3], len(ops), out)
 		}},
 	}
 }

@@ -117,6 +117,45 @@ func TestReplayDeterminism(t *testing.T) {
 	}
 }
 
+// TestFaultMatrixDeterminism pins the fault-injection guarantee: the
+// matrix's structured JSONL is byte-identical between -j 1 and -j 8 and
+// across repeat runs — injection is driven entirely by the per-unit
+// seeded streams, never by scheduling or wall clock. A run with an
+// Options.Seed override must be just as reproducible.
+func TestFaultMatrixDeterminism(t *testing.T) {
+	units, ok := bench.ExperimentUnits("faultmatrix", bench.Options{Quick: true})
+	if !ok {
+		t.Fatal("faultmatrix experiment not registered")
+	}
+	seq := runStructured(t, units, 1)
+	par := runStructured(t, units, 8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("faultmatrix results differ between -j 1 and -j 8:\n%s", firstLineDiff(seq, par))
+	}
+	again := runStructured(t, units, 8)
+	if !bytes.Equal(par, again) {
+		t.Fatalf("two -j 8 faultmatrix runs differ:\n%s", firstLineDiff(par, again))
+	}
+
+	// Seed-overridden runs reproduce too, and actually change the seeds.
+	seeded, ok := bench.ExperimentUnits("faultmatrix", bench.Options{Quick: true, Seed: 777})
+	if !ok {
+		t.Fatal("faultmatrix experiment not registered")
+	}
+	s1 := runStructured(t, seeded, 4)
+	seeded2, _ := bench.ExperimentUnits("faultmatrix", bench.Options{Quick: true, Seed: 777})
+	s2 := runStructured(t, seeded2, 1)
+	if !bytes.Equal(s1, s2) {
+		t.Fatalf("seeded faultmatrix runs differ:\n%s", firstLineDiff(s1, s2))
+	}
+	if bytes.Equal(s1, seq) {
+		t.Fatal("Options.Seed override did not change faultmatrix sampling")
+	}
+	if !bytes.Contains(s1, []byte(`"seed":777`)) {
+		t.Fatalf("seed override not recorded in output:\n%.300s", s1)
+	}
+}
+
 // firstLineDiff renders the first differing line of two byte streams.
 func firstLineDiff(a, b []byte) string {
 	al := strings.Split(string(a), "\n")

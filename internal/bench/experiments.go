@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"optanesim/internal/fault"
 	"optanesim/internal/machine"
 	"optanesim/internal/sim"
 	"optanesim/internal/telemetry"
@@ -21,6 +22,26 @@ type Options struct {
 	// the frozen Recording back in UnitResult.Telemetry. The factory is
 	// called from the unit's own goroutine, once per unit.
 	Telemetry func(unit string) *telemetry.Recorder
+	// Seed, when nonzero, overrides the sampling seeds of the matrix
+	// experiments (crashmatrix state sampling, faultmatrix injection):
+	// unit i of a matrix derives Seed+i, so a failing sampled run is
+	// reproducible from the CLI (-seed). Zero keeps each unit's fixed
+	// built-in seed — the golden configuration.
+	Seed uint64
+	// Fault, when non-nil, attaches a fresh fault.Injector built from
+	// this config to every metered machine system (Meter.Run), degrading
+	// the experiments' PM path. The faultmatrix experiment ignores it —
+	// its units construct their own injectors.
+	Fault *fault.Config
+}
+
+// matrixSeed derives unit i's sampling seed: the unit's fixed built-in
+// default, or Seed+i when an override is set.
+func (o Options) matrixSeed(dflt uint64, i int) uint64 {
+	if o.Seed != 0 {
+		return o.Seed + uint64(i)
+	}
+	return dflt
 }
 
 // scale picks the full or reduced value of a knob.
@@ -83,23 +104,35 @@ type UnitResult struct {
 type Meter struct {
 	// Rec is the unit's recorder, nil when telemetry is off.
 	Rec *telemetry.Recorder
+	// Inj is the unit's fault injector, nil when faults are off. One
+	// injector spans the unit's systems, so poison and wear accumulate
+	// across a sweep the way they would on one physical module.
+	Inj *fault.Injector
 	// SimCycles accumulates the end times of every metered run.
 	SimCycles sim.Cycles
 }
 
-// meter builds the unit's Meter, consulting the Telemetry factory.
+// meter builds the unit's Meter, consulting the Telemetry factory and
+// the fault config.
 func (o Options) meter(unitID string) *Meter {
 	m := &Meter{}
 	if o.Telemetry != nil {
 		m.Rec = o.Telemetry(unitID)
 	}
+	if o.Fault != nil {
+		m.Inj = fault.New(*o.Fault)
+	}
 	return m
 }
 
-// Run executes sys to completion under the meter (nil-safe).
+// Run executes sys to completion under the meter (nil-safe). Faults
+// attach before telemetry so the recorder registers the fault gauges.
 func (m *Meter) Run(sys *machine.System) sim.Cycles {
 	if m == nil {
 		return sys.Run()
+	}
+	if m.Inj != nil {
+		sys.AttachFaults(m.Inj)
 	}
 	if m.Rec != nil {
 		sys.AttachTelemetry(m.Rec)
@@ -147,6 +180,7 @@ var registry = []experimentSpec{
 	{"indexes", indexesUnits},
 	{"crashmatrix", crashmatrixUnits},
 	{"replay", replayUnits},
+	{"faultmatrix", faultmatrixUnits},
 }
 
 // ExperimentNames lists the registered experiments in the paper's

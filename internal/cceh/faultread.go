@@ -1,0 +1,25 @@
+package cceh
+
+import (
+	"fmt"
+
+	"optanesim/internal/pmem"
+)
+
+// LookupChecked is the poison-aware read path: Lookup run under the
+// session's fault-checking scope with pol's bounded retry/repair
+// semantics. A clean or recovered probe returns the usual (value, ok);
+// a probe that still touches an unrecoverable poisoned line reports a
+// typed error (mem.IsPoison) instead of returning silently corrupt
+// data.
+func (t *Table) LookupChecked(s *pmem.Session, key uint64, pol pmem.RepairPolicy) (uint64, bool, error) {
+	var (
+		v  uint64
+		ok bool
+	)
+	err := s.CheckedRead(pol, func() { v, ok = t.Lookup(s, key) })
+	if err != nil {
+		return 0, false, fmt.Errorf("cceh: lookup %d: %w", key, err)
+	}
+	return v, ok, nil
+}

@@ -8,6 +8,7 @@ package imc
 import (
 	"fmt"
 
+	"optanesim/internal/fault"
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
 	"optanesim/internal/telemetry"
@@ -133,6 +134,11 @@ type Controller struct {
 	tel *telemetry.Probe
 	// wpqPeak is the high-water occupancy across all WPQs.
 	wpqPeak int
+
+	// fault, when non-nil, models transient controller stalls: writes
+	// arriving inside an accept-pause window wait for it to close before
+	// entering the WPQ. Nil keeps the healthy path to one pointer test.
+	fault *fault.Injector
 }
 
 // SetTelemetry attaches (or, with nil, detaches) the controller's event
@@ -144,6 +150,10 @@ func (c *Controller) SetTelemetry(p *telemetry.Probe) { c.tel = p }
 func (c *Controller) SetWriteObserver(fn func(addr mem.Addr, accept, landed sim.Cycles)) {
 	c.writeObs = fn
 }
+
+// SetFaults attaches (or, with nil, detaches) a fault injector whose
+// stall model pauses this controller's WPQ acceptance.
+func (c *Controller) SetFaults(inj *fault.Injector) { c.fault = inj }
 
 // NewController builds a controller over one or more interleaved devices.
 func NewController(cfg Config, devs ...Device) *Controller {
@@ -230,6 +240,14 @@ func (c *Controller) Read(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles
 // considered complete by a fence — and the time the write lands in the
 // device's buffers. It also opens the line's RAP hazard window.
 func (c *Controller) Write(now sim.Cycles, addr mem.Addr) (accept, landed sim.Cycles) {
+	if c.fault != nil {
+		if until := c.fault.StallUntil(now); until > now {
+			if c.tel != nil {
+				c.tel.Emit(now, telemetry.KindWPQStall, addr.Line(), uint64(until-now))
+			}
+			now = until
+		}
+	}
 	idx := c.route(addr)
 	q := c.wpqs[idx]
 	slotAt := q.freeSlotAt(now)

@@ -12,6 +12,7 @@ import (
 
 	"optanesim/internal/cache"
 	"optanesim/internal/dram"
+	"optanesim/internal/fault"
 	"optanesim/internal/imc"
 	"optanesim/internal/mem"
 	"optanesim/internal/optane"
@@ -124,6 +125,10 @@ type System struct {
 	// component probes live inside the components.
 	rec      *telemetry.Recorder
 	telProbe *telemetry.Probe
+
+	// faults, when non-nil, is the injector degrading this system's PM
+	// devices (see AttachFaults).
+	faults *fault.Injector
 }
 
 // NewSystem builds a testbed from cfg.
@@ -238,6 +243,24 @@ func (s *System) ResetCounters() {
 	s.dramDev.Counters().Reset()
 }
 
+// AttachFaults wires a fault injector (see internal/fault) into the PM
+// path: the PM controller gains WPQ accept-pause stalls and every Optane
+// DIMM gains thermal derating and poisoned-XPLine media behavior. The
+// DRAM path stays healthy. Passing nil detaches.
+//
+// Call between NewSystem and Run, and — when combining with telemetry —
+// before AttachTelemetry, so the fault gauges register.
+func (s *System) AttachFaults(inj *fault.Injector) {
+	s.faults = inj
+	s.pmc.SetFaults(inj)
+	for _, d := range s.pmDIMMs {
+		d.SetFaults(inj)
+	}
+}
+
+// Faults returns the attached injector (nil when healthy).
+func (s *System) Faults() *fault.Injector { return s.faults }
+
 // AttachTelemetry routes this system's decision-point events and sampled
 // gauges into rec: per-level cache fills/evictions, WPQ and hazard
 // traffic on the PM controller, on-DIMM buffer and media events, and
@@ -312,6 +335,18 @@ func (s *System) AttachTelemetry(rec *telemetry.Recorder) {
 		}
 		return float64(hits) / float64(hits+misses)
 	})
+	if inj := s.faults; inj != nil {
+		rec.RegisterGauge("pm_throttled", func(now sim.Cycles) float64 {
+			if inj.ThrottledAt(now) {
+				return 1
+			}
+			return 0
+		})
+		rec.RegisterGauge("poison_hits", func(now sim.Cycles) float64 {
+			st := inj.Stats()
+			return float64(st.PoisonHits + st.MediaPoisonReads)
+		})
+	}
 }
 
 // globalOps/globalCycles accumulate simulated progress across every

@@ -1,0 +1,25 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PoisonError reports an uncorrectable media error: a checked load
+// touched a poisoned cacheline (see internal/fault). Addr is the
+// poisoned line. The error type lives here, next to the address
+// vocabulary, so every layer — injector, pmem load paths, hardened
+// index reads, CLIs — can classify it without importing the injector.
+type PoisonError struct {
+	Addr Addr
+}
+
+func (e *PoisonError) Error() string {
+	return fmt.Sprintf("mem: poisoned cacheline at %v (uncorrectable media error)", e.Addr)
+}
+
+// IsPoison reports whether err is (or wraps) a *PoisonError.
+func IsPoison(err error) bool {
+	var pe *PoisonError
+	return errors.As(err, &pe)
+}

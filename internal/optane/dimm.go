@@ -1,6 +1,7 @@
 package optane
 
 import (
+	"optanesim/internal/fault"
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
 	"optanesim/internal/telemetry"
@@ -30,6 +31,11 @@ type DIMM struct {
 	// tel, when non-nil, receives buffer/AIT/media events; nil keeps the
 	// disabled path to a single pointer test per decision point.
 	tel *telemetry.Probe
+
+	// fault, when non-nil, degrades the media ports: thermal derating of
+	// media latencies, poisoned-XPLine read penalties, and write-arming
+	// of new UEs. Nil keeps the healthy path to a single pointer test.
+	fault *fault.Injector
 }
 
 // NewDIMM constructs a DIMM with the given profile. The seed drives the
@@ -65,6 +71,43 @@ func (d *DIMM) Profile() Profile { return d.prof }
 func (d *DIMM) SetTelemetry(p *telemetry.Probe) {
 	d.tel = p
 	d.rb.tel = p
+}
+
+// SetFaults attaches (or, with nil, detaches) a fault injector whose
+// thermal and poison models degrade this DIMM's media ports.
+func (d *DIMM) SetFaults(inj *fault.Injector) { d.fault = inj }
+
+// mediaReadCycles resolves one media read's latency at time t: the
+// profile's base latency, stretched by any thermal window and extended
+// by the UE detect penalty when the XPLine is poisoned.
+func (d *DIMM) mediaReadCycles(t sim.Cycles, xpl mem.Addr) sim.Cycles {
+	mrc := d.prof.MediaReadCycles
+	if d.fault == nil {
+		return mrc
+	}
+	mrc = d.fault.DerateMedia(t, mrc)
+	if extra, bad := d.fault.MediaRead(xpl); bad {
+		mrc += extra
+		if d.tel != nil {
+			d.tel.Emit(t, telemetry.KindPoisonRead, xpl, uint64(extra))
+		}
+	}
+	return mrc
+}
+
+// mediaWriteCycles resolves one media write's latency at time t (thermal
+// derating) and records the full-XPLine rewrite with the injector, which
+// clears resident poison and may arm a fresh wear-induced UE.
+func (d *DIMM) mediaWriteCycles(t sim.Cycles, xpl mem.Addr) sim.Cycles {
+	mwc := d.prof.MediaWriteCycles
+	if d.fault == nil {
+		return mwc
+	}
+	mwc = d.fault.DerateMedia(t, mwc)
+	if d.fault.MediaWrite(xpl) && d.tel != nil {
+		d.tel.Emit(t, telemetry.KindPoisonArm, xpl, 0)
+	}
+	return mwc
 }
 
 // Counters exposes the DIMM's traffic counters, syncing in the
@@ -129,7 +172,7 @@ func (d *DIMM) ReadLine(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
 	if !ait {
 		t += d.prof.AITMissCycles
 	}
-	_, done := d.readPorts.Acquire(t, d.prof.MediaReadCycles)
+	_, done := d.readPorts.Acquire(t, d.mediaReadCycles(t, addr.XPLine()))
 	d.c.MediaReads++
 	d.c.MediaReadBytes += mem.XPLineSize
 	if d.tel != nil {
@@ -235,7 +278,7 @@ func (d *DIMM) evict(v *wbEntry, now sim.Cycles) sim.Cycles {
 			if !ait {
 				t += d.prof.AITMissCycles
 			}
-			_, done := d.readPorts.Acquire(t, d.prof.MediaReadCycles)
+			_, done := d.readPorts.Acquire(t, d.mediaReadCycles(t, v.xpl))
 			d.c.MediaReads++
 			d.c.MediaReadBytes += mem.XPLineSize
 			if d.tel != nil {
@@ -245,7 +288,7 @@ func (d *DIMM) evict(v *wbEntry, now sim.Cycles) sim.Cycles {
 			t = done
 		}
 	}
-	start, _ := d.writePorts.Acquire(t, d.prof.MediaWriteCycles)
+	start, _ := d.writePorts.Acquire(t, d.mediaWriteCycles(t, v.xpl))
 	d.c.MediaWrites++
 	d.c.MediaWriteBytes += mem.XPLineSize
 	if d.tel != nil {
@@ -260,8 +303,8 @@ func (d *DIMM) evict(v *wbEntry, now sim.Cycles) sim.Cycles {
 func (d *DIMM) drainPeriodic(now sim.Cycles) {
 	due := d.wb.DuePeriodic(now)
 	for _, e := range due {
-		deadline := e.fullAt + d.prof.PeriodicWritebackCycles
-		start, _ := d.writePorts.Acquire(sim.Max(deadline, 0), d.prof.MediaWriteCycles)
+		deadline := sim.Max(e.fullAt+d.prof.PeriodicWritebackCycles, 0)
+		start, _ := d.writePorts.Acquire(deadline, d.mediaWriteCycles(deadline, e.xpl))
 		d.c.MediaWrites++
 		d.c.MediaWriteBytes += mem.XPLineSize
 		if d.tel != nil {

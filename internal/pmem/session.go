@@ -3,6 +3,7 @@ package pmem
 import (
 	"fmt"
 
+	"optanesim/internal/fault"
 	"optanesim/internal/machine"
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
@@ -39,6 +40,14 @@ type Session struct {
 	T     *machine.Thread
 	heaps []*Heap
 	obs   Observer
+
+	// faults, when non-nil, classifies every functional-plane access
+	// (see SetFaults in fault.go). checkDepth/checkErr implement the
+	// FaultCheck scopes: loads inside a scope surface poison as the
+	// scope's first error, loads outside count as silently absorbed.
+	faults     *fault.Injector
+	checkDepth int
+	checkErr   error
 }
 
 // SetObserver attaches a persistence observer (nil detaches). The
@@ -46,17 +55,21 @@ type Session struct {
 func (s *Session) SetObserver(o Observer) { s.obs = o }
 
 func (s *Session) noteStore(addr mem.Addr) {
+	s.noteWrite(addr)
 	if s.obs != nil {
 		s.obs.ObserveStore(addr.Line())
 	}
 }
 
 func (s *Session) noteStoreRange(addr mem.Addr, n int) {
-	if s.obs == nil {
+	if s.obs == nil && s.faults == nil {
 		return
 	}
 	for line := addr.Line(); line < addr+mem.Addr(n); line += mem.CachelineSize {
-		s.obs.ObserveStore(line)
+		s.noteWrite(line)
+		if s.obs != nil {
+			s.obs.ObserveStore(line)
+		}
 	}
 }
 
@@ -75,7 +88,7 @@ func NewFreeSession(heaps ...*Heap) *Session {
 // WithThread returns a session over the same heaps bound to another
 // thread (e.g. a helper prefetch thread).
 func (s *Session) WithThread(t *machine.Thread) *Session {
-	return &Session{T: t, heaps: s.heaps, obs: s.obs}
+	return &Session{T: t, heaps: s.heaps, obs: s.obs, faults: s.faults}
 }
 
 // heapFor locates the heap containing addr.
@@ -95,6 +108,7 @@ func (s *Session) Load64(addr mem.Addr) uint64 {
 	if s.T != nil {
 		s.T.LoadDep(addr)
 	}
+	s.noteRead(addr)
 	return s.heapFor(addr).Uint64(addr)
 }
 
@@ -110,6 +124,7 @@ func (s *Session) Store64(addr mem.Addr, v uint64) {
 // Peek64 reads the data plane without charging simulated time (for
 // assertions and bookkeeping outside the measured path).
 func (s *Session) Peek64(addr mem.Addr) uint64 {
+	s.noteRead(addr)
 	return s.heapFor(addr).Uint64(addr)
 }
 
@@ -127,6 +142,11 @@ func (s *Session) LoadRange(addr mem.Addr, n int) []byte {
 	if s.T != nil {
 		for line := addr.Line(); line < addr+mem.Addr(n); line += mem.CachelineSize {
 			s.T.Load(line)
+		}
+	}
+	if s.faults != nil {
+		for line := addr.Line(); line < addr+mem.Addr(n); line += mem.CachelineSize {
+			s.noteRead(line)
 		}
 	}
 	return s.heapFor(addr).Bytes(addr, n)
@@ -150,6 +170,7 @@ func (s *Session) NTStore64(addr mem.Addr, v uint64) {
 		s.T.NTStore(addr)
 	}
 	s.heapFor(addr).PutUint64(addr, v)
+	s.noteWrite(addr)
 	if s.obs != nil {
 		s.obs.ObserveNTStore(addr.Line())
 	}
@@ -187,6 +208,7 @@ func (s *Session) LoadLine(addr mem.Addr) {
 	if s.T != nil {
 		s.T.LoadDep(addr)
 	}
+	s.noteRead(addr)
 }
 
 // StoreLine charges one cacheline store without touching data. For
@@ -215,6 +237,11 @@ func (s *Session) Fence() {
 func (s *Session) LoadGroup(addrs ...mem.Addr) {
 	if s.T != nil {
 		s.T.LoadParallel(addrs...)
+	}
+	if s.faults != nil {
+		for _, a := range addrs {
+			s.noteRead(a)
+		}
 	}
 }
 

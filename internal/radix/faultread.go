@@ -1,0 +1,24 @@
+package radix
+
+import (
+	"fmt"
+
+	"optanesim/internal/pmem"
+)
+
+// GetChecked is the poison-aware read path: Get run under the session's
+// fault-checking scope with pol's bounded retry/repair semantics. A
+// clean or recovered walk returns the usual (value, ok); a walk that
+// still touches an unrecoverable poisoned line reports a typed error
+// (mem.IsPoison) instead of returning silently corrupt data.
+func (t *Tree) GetChecked(s *pmem.Session, key uint64, pol pmem.RepairPolicy) (uint64, bool, error) {
+	var (
+		v  uint64
+		ok bool
+	)
+	err := s.CheckedRead(pol, func() { v, ok = t.Get(s, key) })
+	if err != nil {
+		return 0, false, fmt.Errorf("radix: get %d: %w", key, err)
+	}
+	return v, ok, nil
+}

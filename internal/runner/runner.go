@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,119 @@ type TimeoutError struct {
 
 func (e *TimeoutError) Error() string {
 	return fmt.Sprintf("runner: task %q exceeded its %v deadline", e.ID, e.Limit)
+}
+
+// PanicError reports a task that panicked. Value is the recovered panic
+// value and Stack the panicking goroutine's stack. When the task
+// panicked with an error (the experiment drivers panic with typed
+// errors, e.g. fault-injection poison reports), Unwrap exposes it, so
+// errors.Is/As classification sees through the panic boundary.
+type PanicError struct {
+	ID    string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: task %q panicked: %v\n%s", e.ID, e.Value, e.Stack)
+}
+
+// Unwrap returns the panic value when it was an error, else nil.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// TaskError is one failed task inside a Summary, pairing the task ID
+// with its typed error. Unwrap exposes the underlying error so
+// errors.Is/As classify failures through the summary.
+type TaskError struct {
+	ID  string
+	Err error
+}
+
+func (e *TaskError) Error() string { return fmt.Sprintf("%s: %v", e.ID, e.Err) }
+
+// Unwrap returns the task's underlying error.
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// Summary aggregates a KeepGoing run's outcome: every failed task with
+// its typed error, not just the first. The exit paths of the CLIs print
+// it so a matrix run reports all of its failures.
+type Summary struct {
+	// Total is the number of tasks in the run.
+	Total int
+	// Failures holds one entry per failed task, in task order.
+	Failures []*TaskError
+	// Canceled, TimedOut and Panicked count the corresponding typed
+	// failures (all three are also present in Failures).
+	Canceled, TimedOut, Panicked int
+}
+
+// Summarize classifies every failed result into a Summary.
+func Summarize(results []Result) *Summary {
+	s := &Summary{Total: len(results)}
+	for _, r := range results {
+		if r.Err == nil {
+			continue
+		}
+		s.Failures = append(s.Failures, &TaskError{ID: r.ID, Err: r.Err})
+		switch {
+		case errors.Is(r.Err, ErrCanceled):
+			s.Canceled++
+		case isA[*TimeoutError](r.Err):
+			s.TimedOut++
+		case isA[*PanicError](r.Err):
+			s.Panicked++
+		}
+	}
+	return s
+}
+
+// isA reports whether err is (or wraps) a T.
+func isA[T error](err error) bool {
+	var t T
+	return errors.As(err, &t)
+}
+
+// Failed reports whether any task failed.
+func (s *Summary) Failed() bool { return len(s.Failures) > 0 }
+
+// Count reports how many failures satisfy pred (e.g. mem.IsPoison),
+// letting callers classify typed errors the runner does not know about.
+func (s *Summary) Count(pred func(error) bool) int {
+	n := 0
+	for _, f := range s.Failures {
+		if pred(f.Err) {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the aggregate line the CLIs print, e.g.
+// "3/20 tasks failed (1 panicked, 1 timed out, 1 canceled)".
+func (s *Summary) String() string {
+	if !s.Failed() {
+		return fmt.Sprintf("all %d tasks ok", s.Total)
+	}
+	var kinds []string
+	if s.Panicked > 0 {
+		kinds = append(kinds, fmt.Sprintf("%d panicked", s.Panicked))
+	}
+	if s.TimedOut > 0 {
+		kinds = append(kinds, fmt.Sprintf("%d timed out", s.TimedOut))
+	}
+	if s.Canceled > 0 {
+		kinds = append(kinds, fmt.Sprintf("%d canceled", s.Canceled))
+	}
+	line := fmt.Sprintf("%d/%d tasks failed", len(s.Failures), s.Total)
+	if len(kinds) > 0 {
+		line += " (" + strings.Join(kinds, ", ") + ")"
+	}
+	return line
 }
 
 // Run executes tasks on at most workers concurrent goroutines and
@@ -171,7 +285,7 @@ func runTask(t Task) (res Result) {
 	defer func() {
 		res.End = time.Now()
 		if p := recover(); p != nil {
-			res.Err = fmt.Errorf("runner: task %q panicked: %v\n%s", t.ID, p, debug.Stack())
+			res.Err = &PanicError{ID: t.ID, Value: p, Stack: debug.Stack()}
 		}
 	}()
 	res.Value, res.Err = t.Run()

@@ -1,0 +1,91 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"optanesim/internal/mem"
+)
+
+// TestSummarizeAggregatesTypedErrors drives a KeepGoing run whose tasks
+// fail in every typed way and checks that the summary reports all of
+// them — not just the first — with classification intact.
+func TestSummarizeAggregatesTypedErrors(t *testing.T) {
+	poison := &mem.PoisonError{Addr: mem.PMBase}
+	tasks := []Task{
+		{ID: "ok", Run: func() (any, error) { return 1, nil }},
+		{ID: "plain", Run: func() (any, error) { return nil, errors.New("boom") }},
+		{ID: "poison", Run: func() (any, error) { return nil, fmt.Errorf("unit: %w", poison) }},
+		{ID: "panic-poison", Run: func() (any, error) { panic(fmt.Errorf("violation: %w", poison)) }},
+		{ID: "slow", Run: func() (any, error) { time.Sleep(time.Second); return nil, nil }},
+	}
+	res := RunConfig(tasks, Config{Workers: 2, KeepGoing: true, Timeout: 50 * time.Millisecond})
+	s := Summarize(res)
+	if !s.Failed() || s.Total != 5 || len(s.Failures) != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Panicked != 1 || s.TimedOut != 1 || s.Canceled != 0 {
+		t.Fatalf("classification = %+v", s)
+	}
+	// Typed errors survive aggregation — including through a panic.
+	if got := s.Count(mem.IsPoison); got != 2 {
+		t.Fatalf("poison count = %d, want 2", got)
+	}
+	// Failures come back in task order.
+	want := []string{"plain", "poison", "panic-poison", "slow"}
+	for i, f := range s.Failures {
+		if f.ID != want[i] {
+			t.Fatalf("failure %d = %q, want %q", i, f.ID, want[i])
+		}
+	}
+	line := s.String()
+	if !strings.Contains(line, "4/5 tasks failed") ||
+		!strings.Contains(line, "1 panicked") || !strings.Contains(line, "1 timed out") {
+		t.Fatalf("String() = %q", line)
+	}
+}
+
+// TestSummarizeCountsCanceled checks fail-fast classification.
+func TestSummarizeCountsCanceled(t *testing.T) {
+	tasks := []Task{
+		{ID: "fail", Run: func() (any, error) { return nil, errors.New("first") }},
+	}
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, Task{ID: fmt.Sprintf("later%d", i), Run: func() (any, error) {
+			time.Sleep(10 * time.Millisecond)
+			return nil, nil
+		}})
+	}
+	res := RunConfig(tasks, Config{Workers: 1, KeepGoing: false})
+	s := Summarize(res)
+	if s.Canceled != 4 {
+		t.Fatalf("canceled = %d, want 4 (summary %+v)", s.Canceled, s)
+	}
+	if got := Summarize(res[:1]).String(); !strings.Contains(got, "1/1 tasks failed") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestSummarizeAllOK checks the healthy rendering.
+func TestSummarizeAllOK(t *testing.T) {
+	res := Run([]Task{{ID: "a", Run: func() (any, error) { return nil, nil }}}, 1)
+	s := Summarize(res)
+	if s.Failed() || s.String() != "all 1 tasks ok" {
+		t.Fatalf("summary = %+v, String %q", s, s.String())
+	}
+}
+
+// TestPanicErrorUnwrap checks that non-error panic values unwrap to nil
+// while error values unwrap to themselves.
+func TestPanicErrorUnwrap(t *testing.T) {
+	if (&PanicError{Value: "text"}).Unwrap() != nil {
+		t.Fatal("string panic unwrapped to an error")
+	}
+	base := errors.New("base")
+	if !errors.Is(&PanicError{Value: base}, base) {
+		t.Fatal("error panic did not unwrap")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 
+	"optanesim/internal/fault"
 	"optanesim/internal/machine"
 	"optanesim/internal/mem"
 	"optanesim/internal/prefetch"
@@ -300,12 +301,19 @@ type Result struct {
 }
 
 // Run executes the program and returns per-thread and system results.
-func Run(p *Program) (*Result, error) { return RunRecorded(p, nil) }
+func Run(p *Program) (*Result, error) { return RunWith(p, nil, nil) }
 
 // RunRecorded is Run with a telemetry recorder attached to the system,
 // so pmsim can export event streams and sampler series for a script. A
 // nil recorder runs with telemetry off (nil probes, zero overhead).
 func RunRecorded(p *Program, rec *telemetry.Recorder) (*Result, error) {
+	return RunWith(p, rec, nil)
+}
+
+// RunWith is Run with a telemetry recorder and a fault injector, either
+// of which may be nil. Faults attach before telemetry so the recorder
+// registers the fault gauges (pm_throttled, poison_hits).
+func RunWith(p *Program, rec *telemetry.Recorder, inj *fault.Injector) (*Result, error) {
 	cfg := machine.G1Config(1)
 	if p.Gen == 2 {
 		cfg = machine.G2Config(1)
@@ -322,6 +330,9 @@ func RunRecorded(p *Program, rec *telemetry.Recorder) (*Result, error) {
 	sys, err := machine.NewSystem(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if inj != nil {
+		sys.AttachFaults(inj)
 	}
 	if rec != nil {
 		sys.AttachTelemetry(rec)

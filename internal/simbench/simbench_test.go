@@ -3,6 +3,7 @@ package simbench
 import (
 	"testing"
 
+	"optanesim/internal/fault"
 	"optanesim/internal/machine"
 	"optanesim/internal/telemetry"
 )
@@ -44,13 +45,21 @@ func BenchmarkSimCoreFlushFenceTelemetry(b *testing.B) { FlushFenceTelemetry(b) 
 // executes its workload inline on the calling goroutine — so
 // testing.AllocsPerRun sees exactly the per-op path with no per-Run
 // setup in the way.
+// The faults-idle subtest pins the fault injector's zero-cost-when-idle
+// contract: an attached injector with no fault classes configured must
+// not add a single allocation to the hot paths (its decision points are
+// pointer tests plus empty-map probes).
 func TestHotPathAllocs(t *testing.T) {
-	t.Run("plain", func(t *testing.T) { testHotPathAllocs(t, false) })
-	t.Run("telemetry", func(t *testing.T) { testHotPathAllocs(t, true) })
+	t.Run("plain", func(t *testing.T) { testHotPathAllocs(t, false, false) })
+	t.Run("telemetry", func(t *testing.T) { testHotPathAllocs(t, true, false) })
+	t.Run("faults-idle", func(t *testing.T) { testHotPathAllocs(t, false, true) })
 }
 
-func testHotPathAllocs(t *testing.T, telemetryOn bool) {
+func testHotPathAllocs(t *testing.T, telemetryOn, faultsOn bool) {
 	sys := machine.MustNewSystem(machine.G1Config(1))
+	if faultsOn {
+		sys.AttachFaults(fault.New(fault.Config{}))
+	}
 	if telemetryOn {
 		rec := telemetry.NewRecorder("alloc-probe", telemetry.Config{SampleEvery: 1 << 40})
 		sys.AttachTelemetry(rec)

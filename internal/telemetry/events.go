@@ -66,6 +66,15 @@ const (
 	KindXPDirect
 	KindXPRedirected
 
+	// internal/fault, through the devices: a media write armed a fresh
+	// UE on the XPLine, a media read of a poisoned XPLine paid the
+	// detect penalty (Arg is the penalty in cycles), and a write waited
+	// for a WPQ accept-pause window to close (Arg is the wait in
+	// cycles).
+	KindPoisonArm
+	KindPoisonRead
+	KindWPQStall
+
 	numKinds
 )
 
@@ -93,6 +102,9 @@ var kindNames = [numKinds]string{
 	KindPersistFence:  "persist-fence",
 	KindXPDirect:      "xp-direct",
 	KindXPRedirected:  "xp-redirected",
+	KindPoisonArm:     "poison-arm",
+	KindPoisonRead:    "poison-read",
+	KindWPQStall:      "wpq-stall",
 }
 
 // String returns the kind's stable wire name (used in every sink).

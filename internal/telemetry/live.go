@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -37,6 +38,9 @@ type Live struct {
 
 	srv *http.Server
 	lis net.Listener
+	// serveDone closes when the Serve goroutine returns, so shutdown
+	// paths can wait for it instead of leaking the goroutine.
+	serveDone chan struct{}
 }
 
 // liveUnitDone is one completed unit's progress record.
@@ -76,15 +80,40 @@ func (l *Live) Start(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	l.lis = lis
 	l.srv = &http.Server{Handler: mux}
-	go l.srv.Serve(lis)
+	l.serveDone = make(chan struct{})
+	go func() {
+		defer close(l.serveDone)
+		l.srv.Serve(lis)
+	}()
 	return lis.Addr().String(), nil
 }
 
-// Stop shuts the server down.
-func (l *Live) Stop() {
-	if l.srv != nil {
+// Shutdown drains the server gracefully: in-flight requests finish
+// (bounded by ctx) and the Serve goroutine exits before Shutdown
+// returns. When ctx expires first, open connections are force-closed
+// and the context error is returned.
+func (l *Live) Shutdown(ctx context.Context) error {
+	if l.srv == nil {
+		return nil
+	}
+	err := l.srv.Shutdown(ctx)
+	if err != nil {
+		// Drain deadline hit: fall back to a hard close so the Serve
+		// goroutine still exits.
 		l.srv.Close()
 	}
+	<-l.serveDone
+	return err
+}
+
+// Stop shuts the server down immediately (open connections are
+// dropped), waiting for the Serve goroutine to exit.
+func (l *Live) Stop() {
+	if l.srv == nil {
+		return
+	}
+	l.srv.Close()
+	<-l.serveDone
 }
 
 // UnitStarted records that a unit began executing.
