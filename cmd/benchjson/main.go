@@ -206,6 +206,12 @@ func main() {
 		{"SimCoreContended2", simbench.Contended2},
 		{"SimCoreContended4", simbench.Contended4},
 		{"SimCoreContended8", simbench.Contended8},
+		// MultiDIMM variants stream nt-stores across a DIMM interleave
+		// on the serial service path, baselining the multi-DIMM routing
+		// hot path that parallel device service offloads.
+		{"SimCoreMultiDIMM2", simbench.MultiDIMM2},
+		{"SimCoreMultiDIMM4", simbench.MultiDIMM4},
+		{"SimCoreMultiDIMM8", simbench.MultiDIMM8},
 		// Telemetry-on variants: the delta against their plain
 		// counterparts is the recording overhead's trajectory.
 		{"SimCoreLoadTelemetry", simbench.LoadTelemetry},

@@ -6,6 +6,7 @@
 //
 //	optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going]
 //	         [-cpuprofile f] [-memprofile f] [-progress] [-seed N] [-fault SPEC]
+//	         [-device-workers N]
 //	         [-trace-out f] [-events-out f] [-sample-out f]
 //	         [-sample-every N] [-event-cap N] [-telemetry-addr a]
 //	         <experiment>...
@@ -25,6 +26,13 @@
 // every metered experiment system — the faultmatrix experiment ignores
 // it and builds its own per-cell injectors.
 //
+// -device-workers N asks the opt-in experiments (bandwidth, fig13,
+// fig14) to service DIMM requests on per-DIMM host workers
+// (machine.System.SetParallelDevices). Every result — printed tables
+// and -json records alike — is byte-identical to the serial default;
+// the request auto-disables on systems carrying telemetry or fault
+// injection. This is a wall-clock knob only.
+//
 // Independent experiment units (e.g. the two generations of fig2, the
 // eight panels of fig8) execute concurrently on a pool of -j workers,
 // each on its own simulator instance. Output order — and, with -json,
@@ -42,6 +50,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -68,6 +77,7 @@ var (
 	memProfile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	seed       = flag.Uint64("seed", 0, "override the injection matrices' sampling seeds (unit i uses seed+i)")
 	faultSpec  = flag.String("fault", "", "degrade every metered experiment system per this fault spec, e.g. 'poison=64,thermal=400000/200000/150'")
+	devWorkers = flag.Int("device-workers", 0, "service DIMM requests on N host workers in the opt-in experiments (0 = serial; results are byte-identical)")
 )
 
 func main() {
@@ -104,7 +114,7 @@ func main() {
 	// Flatten every selected experiment's units into one task list so
 	// the pool stays busy across experiment boundaries, remembering
 	// which result slots belong to which experiment.
-	opts := bench.Options{Quick: *quick, Telemetry: telemetryFactory(), Seed: *seed}
+	opts := bench.Options{Quick: *quick, Telemetry: telemetryFactory(), Seed: *seed, DeviceWorkers: *devWorkers}
 	if *faultSpec != "" {
 		cfg, err := fault.ParseSpec(*faultSpec)
 		if err != nil {
@@ -112,6 +122,12 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Fault = &cfg
+	}
+	if *jsonDir != "" {
+		if err := writeRunHeader(*jsonDir, run); err != nil {
+			fmt.Fprintf(os.Stderr, "optbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	var tasks []runner.Task
 	slots := make(map[string][]int, len(run))
@@ -251,6 +267,27 @@ func firstLine(s string) string {
 	return s
 }
 
+// writeRunHeader records the knobs that shape a -json run's records as
+// <dir>/run.json, so an archived result directory is reproducible from
+// its header alone. Only simulation-relevant flags appear — never
+// timestamps or -j, which cannot change a byte of the .jsonl files
+// (device_workers cannot either, but it is the claim CI's cmp gate
+// checks, so the header states it).
+func writeRunHeader(dir string, run []string) error {
+	hdr := struct {
+		Quick         bool     `json:"quick"`
+		Seed          uint64   `json:"seed"`
+		Fault         string   `json:"fault,omitempty"`
+		DeviceWorkers int      `json:"device_workers"`
+		Experiments   []string `json:"experiments"`
+	}{*quick, *seed, *faultSpec, *devWorkers, run}
+	data, err := json.MarshalIndent(hdr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "run.json"), append(data, '\n'), 0o644)
+}
+
 // writeJSONL writes one experiment's structured records as JSON lines.
 func writeJSONL(dir, name string, results []bench.UnitResult) error {
 	data, err := bench.EncodeJSONL(results)
@@ -261,6 +298,6 @@ func writeJSONL(dir, name string, results []bench.UnitResult) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] [-cpuprofile f] [-memprofile f] [-progress] [-seed N] [-fault SPEC] [-trace-out f] [-events-out f] [-sample-out f] [-sample-every N] [-event-cap N] [-telemetry-addr a] <experiment>...\nexperiments: %v all\n",
+	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] [-cpuprofile f] [-memprofile f] [-progress] [-seed N] [-fault SPEC] [-device-workers N] [-trace-out f] [-events-out f] [-sample-out f] [-sample-every N] [-event-cap N] [-telemetry-addr a] <experiment>...\nexperiments: %v all\n",
 		bench.ExperimentNames())
 }

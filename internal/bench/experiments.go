@@ -33,6 +33,14 @@ type Options struct {
 	// the experiments' PM path. The faultmatrix experiment ignores it —
 	// its units construct their own injectors.
 	Fault *fault.Config
+	// DeviceWorkers, when positive, asks the experiments that opt in
+	// (bandwidth, fig13, fig14 — the multi-DIMM sweeps where wall-clock
+	// lives) to service device requests on per-DIMM host workers
+	// (machine.System.SetParallelDevices). Results are byte-identical to
+	// the serial default — pinned by TestParallelDeviceUnitsByteIdentical
+	// and the CI cmp gate — and the request auto-disables on systems
+	// running with telemetry or fault injection attached.
+	DeviceWorkers int
 }
 
 // matrixSeed derives unit i's sampling seed: the unit's fixed built-in

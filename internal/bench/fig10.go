@@ -6,6 +6,7 @@ import (
 
 	"optanesim/internal/cceh"
 	"optanesim/internal/machine"
+	"optanesim/internal/mem"
 	"optanesim/internal/pmem"
 	"optanesim/internal/sim"
 	"optanesim/internal/workload"
@@ -78,34 +79,45 @@ func fig10Run(o Fig10Options, workers int, helper bool) (cyclesPerInsert, mops f
 	mcfg := o.Gen.Config(workers)
 	mcfg.PMDIMMs = o.DIMMs
 	sys := machine.MustNewSystem(mcfg)
-
-	total := o.PrebuildKeys + 4*o.TotalInserts
-	var heap *pmem.Heap
-	if o.OnDRAM {
-		heap = pmem.NewDRAMHeap(cceh.HeapFor(total))
-	} else {
-		heap = pmem.NewPMHeap(cceh.HeapFor(total))
-	}
-	free := pmem.NewFreeSession(heap)
-	tbl := cceh.New(free, heap, 8)
-	tbl.InsertBatch(free, workload.SequenceKeys(1<<40, o.PrebuildKeys), nil)
+	// Each worker owns a private table shard carved from one parent heap
+	// (disjoint address ranges, private bump pointers — segment splits
+	// mid-run allocate without touching shared host state), and the
+	// worker→helper pacing flows through a progress cacheline in
+	// simulated memory (cceh.HelperPlan). With no shared host-side Go
+	// structures left in the thread closures — busy/inserted/endMax are
+	// commutative accumulators read after Run — the bodies are isolated
+	// and ride the scheduler's local-overrun fast path (sched.go).
+	sys.SetThreadsIsolated(true)
 
 	perWorker := o.TotalInserts / workers
 	warmPer := perWorker / 8
+	prebuildPer := o.PrebuildKeys / workers
+	shardBytes := cceh.HeapFor(prebuildPer+4*perWorker) + cceh.ProgressBytes + mem.XPLineSize
+	var parent *pmem.Heap
+	if o.OnDRAM {
+		parent = pmem.NewDRAMHeap(uint64(workers) * (shardBytes + mem.XPLineSize))
+	} else {
+		parent = pmem.NewPMHeap(uint64(workers) * (shardBytes + mem.XPLineSize))
+	}
 
 	var busy sim.Cycles
 	var inserted int
 	var endMax sim.Cycles
 	for w := 0; w < workers; w++ {
+		shard := parent.Carve(shardBytes, mem.XPLineSize)
+		free := pmem.NewFreeSession(shard)
+		tbl := cceh.New(free, shard, 8)
+		tbl.InsertBatch(free, workload.SequenceKeys(1<<40|uint64(w)<<32, prebuildPer), nil)
+		prog := shard.Alloc(cceh.ProgressBytes, mem.CachelineSize)
+
 		warm := workload.SequenceKeys(1<<41|uint64(w)<<32, warmPer)
 		keys := workload.SequenceKeys(1<<42|uint64(w)<<32, perWorker)
 		all := append(append([]uint64{}, warm...), keys...)
-		prog := &cceh.Progress{}
 		sys.Go(fmt.Sprintf("worker-%d", w), w, false, func(t *machine.Thread) {
-			s := pmem.NewSession(t, heap)
+			s := pmem.NewSession(t, shard)
 			var start sim.Cycles
 			for i, k := range all {
-				prog.Next = i
+				s.Store64(prog, uint64(i))
 				if i == warmPer {
 					start = t.Now()
 				}
@@ -115,7 +127,7 @@ func fig10Run(o Fig10Options, workers int, helper bool) (cyclesPerInsert, mops f
 					panic(err)
 				}
 			}
-			prog.Done = true
+			s.Store64(prog+8, 1)
 			busy += t.Now() - start
 			if t.Now() > endMax {
 				endMax = t.Now()
@@ -123,9 +135,10 @@ func fig10Run(o Fig10Options, workers int, helper bool) (cyclesPerInsert, mops f
 			inserted += perWorker
 		})
 		if helper {
+			plan := tbl.PrefetchPlan(all)
 			sys.Go(fmt.Sprintf("helper-%d", w), w, false, func(t *machine.Thread) {
-				s := pmem.NewSession(t, heap)
-				tbl.Helper(s, all, prog)
+				s := pmem.NewSession(t, shard)
+				cceh.HelperPlan(s, plan, prog)
 			})
 		}
 	}

@@ -32,6 +32,10 @@ type Fig13Options struct {
 	MaxVisits int
 	// Meter, when non-nil, threads telemetry through every system run.
 	Meter *Meter
+	// DeviceWorkers, when positive, services DIMM requests on host
+	// workers; cycle-identical results (auto-disabled when the meter
+	// carries telemetry or faults).
+	DeviceWorkers int
 }
 
 func (o *Fig13Options) defaults() {
@@ -53,8 +57,8 @@ func Fig13(o Fig13Options) []Fig13Point {
 	o.defaults()
 	points := make([]Fig13Point, 0, len(o.WSS))
 	for _, wss := range o.WSS {
-		base := fig13Run(o.Gen, wss, o.MaxVisits, false, o.Meter)
-		opt := fig13Run(o.Gen, wss, o.MaxVisits, true, o.Meter)
+		base := fig13Run(o, wss, false)
+		opt := fig13Run(o, wss, true)
 		points = append(points, Fig13Point{
 			WSSBytes: wss,
 			IMCRatio: base.IMCReadRatio(), PMRatio: base.PMReadRatio(),
@@ -64,9 +68,10 @@ func Fig13(o Fig13Options) []Fig13Point {
 	return points
 }
 
-func fig13Run(gen Gen, wss, maxVisits int, optimized bool, m *Meter) trace.Counters {
-	cfg := gen.Config(1)
+func fig13Run(o Fig13Options, wss int, optimized bool) trace.Counters {
+	cfg := o.Gen.Config(1)
 	sys := machine.MustNewSystem(cfg)
+	sys.SetParallelDevices(o.DeviceWorkers)
 	nBlocks := wss / mem.XPLineSize
 	if nBlocks == 0 {
 		nBlocks = 1
@@ -76,8 +81,8 @@ func fig13Run(gen Gen, wss, maxVisits int, optimized bool, m *Meter) trace.Count
 	dram := pmem.NewDRAMHeap(1 << 20)
 
 	visits := 3*nBlocks + 2000
-	if visits > maxVisits {
-		visits = maxVisits
+	if visits > o.MaxVisits {
+		visits = o.MaxVisits
 	}
 	warmup := visits / 4
 
@@ -97,7 +102,7 @@ func fig13Run(gen Gen, wss, maxVisits int, optimized bool, m *Meter) trace.Count
 		sys.ResetCounters()
 		run(visits)
 	})
-	m.Run(sys)
+	o.Meter.Run(sys)
 	return sys.PMCounters()
 }
 
@@ -108,7 +113,7 @@ func fig13Units(o Options) []Unit {
 		gen := gen
 		units = append(units, Unit{Experiment: "fig13", Name: gen.String(), Run: func() UnitResult {
 			m := o.meter("fig13/" + gen.String())
-			pts := Fig13(Fig13Options{Gen: gen, MaxVisits: o.scale(40000, 10000), Meter: m})
+			pts := Fig13(Fig13Options{Gen: gen, MaxVisits: o.scale(40000, 10000), Meter: m, DeviceWorkers: o.DeviceWorkers})
 			ur := UnitResult{
 				Experiment: "fig13", Unit: gen.String(), Data: pts,
 				Text: FormatFig13(gen, pts),

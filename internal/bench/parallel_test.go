@@ -1,0 +1,40 @@
+package bench_test
+
+import (
+	"bytes"
+	"testing"
+
+	"optanesim/internal/bench"
+)
+
+// parallelOptInUnits returns the quick-scale units of the experiments
+// that honor Options.DeviceWorkers (bandwidth, fig13, fig14 — the
+// multi-DIMM sweeps where wall-clock lives).
+func parallelOptInUnits(t *testing.T, o bench.Options) []bench.Unit {
+	t.Helper()
+	var units []bench.Unit
+	for _, name := range []string{"bandwidth", "fig13", "fig14"} {
+		exp, ok := bench.ExperimentUnits(name, o)
+		if !ok {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		units = append(units, exp...)
+	}
+	return units
+}
+
+// TestParallelDeviceUnitsByteIdentical pins the PR's headline guarantee
+// at the experiment level: the structured JSONL of the opt-in
+// experiments is byte-identical between serial device service
+// (DeviceWorkers 0) and per-DIMM host workers (DeviceWorkers 4). CI
+// re-checks the same property on the optbench binary with cmp.
+func TestParallelDeviceUnitsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation sweep; skipped in -short mode")
+	}
+	serial := runStructured(t, parallelOptInUnits(t, bench.Options{Quick: true}), 2)
+	par := runStructured(t, parallelOptInUnits(t, bench.Options{Quick: true, DeviceWorkers: 4}), 2)
+	if !bytes.Equal(serial, par) {
+		t.Fatalf("results differ between -device-workers 0 and 4:\n%s", firstLineDiff(serial, par))
+	}
+}

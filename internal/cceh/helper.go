@@ -61,6 +61,63 @@ func (t *Table) Helper(s *pmem.Session, keys []uint64, prog *Progress) {
 	}
 }
 
+// ProgressBytes sizes the simulated-memory progress block the
+// plan-based helper (HelperPlan) paces against: word 0 holds the index
+// of the next key the worker will insert, word 1 the done flag. The
+// worker publishes both with timed stores (Session.Store64), so the
+// block is an ordinary shared cacheline of the simulated machine.
+const ProgressBytes = 16
+
+// PrefetchPlan precomputes the helper's load addresses for each
+// HelperBatch-sized group of upcoming keys from a host-side snapshot
+// of the directory, taken when it is called (typically right after
+// prebuild, before the measured run). Segment splits during the run
+// leave plan entries pointing at pre-split segments — the same
+// staleness the live Helper tolerates mid-split — trading a little
+// warming accuracy for a helper body that touches no shared host
+// state: replaying the plan reads only the slice it owns and the
+// progress block in simulated memory.
+func (t *Table) PrefetchPlan(keys []uint64) [][]mem.Addr {
+	depth := uint(t.heap.Uint64(t.dir))
+	plan := make([][]mem.Addr, 0, (len(keys)+HelperBatch-1)/HelperBatch)
+	for i := 0; i < len(keys); i += HelperBatch {
+		addrs := make([]mem.Addr, 0, HelperBatch*(1+2))
+		for j := i; j < i+HelperBatch && j < len(keys); j++ {
+			h := hashKey(keys[j])
+			dirSlot := t.dirEntry(dirIndex(h, depth))
+			addrs = append(addrs, dirSlot)
+			segAddr := mem.Addr(t.heap.Uint64(dirSlot))
+			if !t.heap.Contains(segAddr) {
+				continue
+			}
+			b0 := bucketIndex(h)
+			addrs = append(addrs, segAddr, bucketAddr(segAddr, b0))
+		}
+		plan = append(plan, addrs)
+	}
+	return plan
+}
+
+// HelperPlan replays a PrefetchPlan on a sibling hyperthread, pacing
+// against the ProgressBytes block at prog. All worker→helper
+// coordination is timed loads of shared simulated cachelines, which the
+// lookahead scheduler never runs past its grant horizon — so unlike the
+// host-side Progress struct of Helper, this pattern is sound inside
+// thread bodies declared isolated (machine.System.SetThreadsIsolated):
+// the observed interleaving is a property of simulated time alone.
+func HelperPlan(s *pmem.Session, plan [][]mem.Addr, prog mem.Addr) {
+	for i, addrs := range plan {
+		// Throttle: stay at most PrefetchDepth keys ahead.
+		for s.Load64(prog+8) == 0 && i*HelperBatch >= int(s.Load64(prog))+PrefetchDepth {
+			s.T.Compute(60)
+		}
+		if s.Load64(prog+8) != 0 {
+			return
+		}
+		s.T.LoadParallel(addrs...)
+	}
+}
+
 // InsertBatch inserts keys[i] -> values derived from keys, updating prog
 // so a helper can pace itself. It returns the number inserted.
 func (t *Table) InsertBatch(s *pmem.Session, keys []uint64, prog *Progress) int {

@@ -67,36 +67,44 @@ func DefaultConfig() Config {
 }
 
 // wpq tracks the occupancy of one device's write pending queue as a ring
-// of landing times.
+// of landing times. Under parallel device service (parallel.go) an
+// entry whose write is still being serviced off-thread is marked
+// pending: land then holds the acceptance-time lower bound (the entry's
+// in-flight horizon) until the completion is joined. The serial path
+// never sets pend, so its scans stay exactly as they were.
 type wpq struct {
 	land     []sim.Cycles
+	pend     []bool
 	head     int
 	count    int
 	lastLand sim.Cycles
 }
 
-func newWPQ(depth int) *wpq { return &wpq{land: make([]sim.Cycles, depth)} }
+func newWPQ(depth int) *wpq {
+	return &wpq{land: make([]sim.Cycles, depth), pend: make([]bool, depth)}
+}
+
+// popHead drops the oldest entry.
+func (q *wpq) popHead() {
+	q.head++
+	if q.head == len(q.land) {
+		q.head = 0
+	}
+	q.count--
+}
 
 // freeSlotAt returns the earliest time a slot is available for a write
 // arriving at now, popping entries that have landed by then.
 func (q *wpq) freeSlotAt(now sim.Cycles) sim.Cycles {
 	for q.count > 0 && q.land[q.head] <= now {
-		q.head++
-		if q.head == len(q.land) {
-			q.head = 0
-		}
-		q.count--
+		q.popHead()
 	}
 	if q.count < len(q.land) {
 		return now
 	}
 	// Full: wait for the oldest entry to land.
 	t := q.land[q.head]
-	q.head++
-	if q.head == len(q.land) {
-		q.head = 0
-	}
-	q.count--
+	q.popHead()
 	return t
 }
 
@@ -139,6 +147,12 @@ type Controller struct {
 	// arriving inside an accept-pause window wait for it to close before
 	// entering the WPQ. Nil keeps the healthy path to one pointer test.
 	fault *fault.Injector
+
+	// par, when non-nil, is the parallel device-service back half
+	// (parallel.go): device work runs on per-DIMM host workers while
+	// this front half stays in exact arrival order. Nil (the default)
+	// keeps the serial path to one pointer test per request.
+	par *parState
 }
 
 // SetTelemetry attaches (or, with nil, detaches) the controller's event
@@ -184,8 +198,11 @@ func (c *Controller) route(addr mem.Addr) int {
 func (c *Controller) Devices() []Device { return c.devs }
 
 // Counters sums traffic counters across the controller's devices and
-// stamps in the controller's own WPQ occupancy peak.
+// stamps in the controller's own WPQ occupancy peak. Under parallel
+// device service it quiesces first, so the device counters reflect
+// every admitted request.
 func (c *Controller) Counters() trace.Counters {
+	c.Quiesce()
 	var total trace.Counters
 	for _, d := range c.devs {
 		total.Add(d.Counters())
@@ -196,8 +213,10 @@ func (c *Controller) Counters() trace.Counters {
 
 // WPQOccupancy reports how many writes are in flight (accepted but not
 // yet landed) across all of the controller's WPQs at time now. Entries
-// are popped lazily, so the ring is scanned against their landing times.
+// are popped lazily, so the ring is scanned against their landing times
+// (made exact by quiescing any parallel device service first).
 func (c *Controller) WPQOccupancy(now sim.Cycles) int {
+	c.Quiesce()
 	occ := 0
 	for _, q := range c.wpqs {
 		for i := 0; i < q.count; i++ {
@@ -229,8 +248,11 @@ func (c *Controller) Read(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles
 		}
 	}
 	c.observe(now)
-	dev := c.devs[c.route(addr)]
-	done := dev.ReadLine(now+c.cfg.RPQCycles, addr, demand)
+	idx := c.route(addr)
+	if c.par != nil {
+		return c.par.read(idx, now+c.cfg.RPQCycles, addr, demand) + c.cfg.BusCycles
+	}
+	done := c.devs[idx].ReadLine(now+c.cfg.RPQCycles, addr, demand)
 	return done + c.cfg.BusCycles
 }
 
@@ -239,6 +261,12 @@ func (c *Controller) Read(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles
 // the write has reached the ADR domain and the issuing flush is
 // considered complete by a fence — and the time the write lands in the
 // device's buffers. It also opens the line's RAP hazard window.
+//
+// Under parallel device service the landing time is still in flight on
+// a device worker when Write returns; landed is then the acceptance
+// time, a documented lower bound. No enabled caller consumes it —
+// observers that need exact landing times (telemetry, crash tracking)
+// keep the controller serial (see StartParallel).
 func (c *Controller) Write(now sim.Cycles, addr mem.Addr) (accept, landed sim.Cycles) {
 	if c.fault != nil {
 		if until := c.fault.StallUntil(now); until > now {
@@ -250,6 +278,18 @@ func (c *Controller) Write(now sim.Cycles, addr mem.Addr) (accept, landed sim.Cy
 	}
 	idx := c.route(addr)
 	q := c.wpqs[idx]
+	if p := c.par; p != nil {
+		slotAt := p.freeSlotAt(idx, now)
+		accept = sim.Max(now, slotAt) + c.cfg.WPQAcceptCycles
+		p.write(idx, accept, addr)
+		if q.count > c.wpqPeak {
+			c.wpqPeak = q.count
+		}
+		c.hazards.setMax(addr.Line(), accept+c.devs[idx].RAPWindow())
+		c.observe(accept)
+		c.maybePruneHazards()
+		return accept, accept
+	}
 	slotAt := q.freeSlotAt(now)
 	accept = sim.Max(now, slotAt) + c.cfg.WPQAcceptCycles
 	start := sim.Max(accept, q.lastLand+c.cfg.DrainGapCycles)
@@ -284,6 +324,13 @@ func (c *Controller) Write(now sim.Cycles, addr mem.Addr) (accept, landed sim.Cy
 // nonzero device slack is unobservable behind an order-sensitive queue.
 // The method exists so the scheduler's horizon computation has a single
 // component-owned hook should a relaxed controller model ever exist.
+//
+// Parallel device service (parallel.go) does not change this answer:
+// the scheduler's grant horizons are functions of thread clocks and
+// commit slack only, never of device state, and each outstanding write
+// carries its own per-device in-flight horizon inside the WPQ ring, so
+// admission decisions made while service is outstanding are the ones
+// the serial model makes.
 func (c *Controller) CommitSlack() sim.Cycles { return 0 }
 
 // observe tracks the high-water mark of simulated time for hazard

@@ -1,0 +1,399 @@
+package imc
+
+// This file is the controller's device-service back half: an opt-in
+// execution mode that moves imc.Device work — reads, writes and the
+// evict-RMW / periodic-write-back cascades they trigger inside the
+// device models — onto per-DIMM host worker goroutines, while the front
+// half (interleave routing, WPQ ring admission, hazard-table checks)
+// stays on the simulated-thread side in exact arrival order.
+//
+// # Why the split is sound
+//
+// Interleaved DIMMs are independent below the controller's routing
+// step: no device model reads another device's state, so per-device
+// request streams may be serviced concurrently as long as each device
+// sees its own stream in admission order. The front half produces that
+// order; a bounded SPSC ring per device carries it to the worker, which
+// services requests one at a time with the exact cycle arguments the
+// serial model would have passed:
+//
+//   - Reads carry their arrival time (now + RPQCycles). A read is
+//     always the newest request on its device, so the front half blocks
+//     until the completion returns — reads are synchronous in the
+//     serial model too (the caller needs the completion time).
+//   - Writes carry their WPQ acceptance time. The drain start
+//     (max(accept, lastLand + DrainGapCycles)) chains through the
+//     previous write's landing time, which only the worker knows, so
+//     the worker owns the lastLand chain while parallel service is on.
+//
+// # The per-device in-flight horizon
+//
+// The only front-half decision that depends on a landing time is the
+// WPQ pop ("has the oldest entry drained by now?"). While a write's
+// service is outstanding, its WPQ ring entry holds the acceptance time
+// as a lower bound on the landing time — valid on every device model,
+// because landing strictly follows the drain start, which is at least
+// the acceptance time. That lower bound is the entry's in-flight
+// horizon: an arrival before it can decide "still in flight" without
+// joining the completion (the exact answer the serial model gives), and
+// only an arrival at or past the horizon forces a join, which replaces
+// the bound with the exact landing time. Completions resolve in
+// admission order, so the ring's FIFO pop discipline — and therefore
+// every acceptance time, occupancy count and wpqPeak value — is
+// cycle-identical to the serial model's. resolveOne panics if a device
+// ever lands a write before its recorded horizon, so an unsound future
+// device model fails loudly instead of silently reordering pops.
+//
+// # Memory model
+//
+// The "single producer" is whichever goroutine currently runs simulated
+// threads: the scheduler's baton handoffs (channel operations) order
+// successive producers, so plain writes to slot fields are race-free
+// when published with a release store of the ring tail and consumed
+// after an acquire load. Completions publish through the slot's done
+// counter the same way. When a device has no outstanding requests the
+// front half may touch the device directly (the inline-read fast path,
+// Counters, ResetCounters): joining the last completion acquired the
+// worker's writes, and the next tail publication releases the front
+// half's, so ownership of the device state transfers cleanly back and
+// forth. StartParallel refuses to engage while a telemetry probe, fault
+// injector, or write observer is attached — those consume per-write
+// landing times or arrival-ordered event streams on the front side.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optanesim/internal/mem"
+	"optanesim/internal/sim"
+)
+
+// Device-service operation kinds carried in ring slots.
+const (
+	opDevRead uint8 = iota
+	opDevWrite
+)
+
+// devSlot is one SPSC ring entry. The front half writes the request
+// fields before publishing the ring tail; the worker writes result
+// before publishing done. done holds seq+1 once the result for absolute
+// sequence number seq is readable (the slot recycles every len(slots)
+// submissions, so equality with the expected value is the readiness
+// test).
+type devSlot struct {
+	kind   uint8
+	demand bool
+	wqIdx  int32 // WPQ ring index of a pending write's entry
+	addr   mem.Addr
+	at     sim.Cycles // read arrival / write acceptance time
+	result sim.Cycles
+	done   atomic.Uint64
+	_      [24]byte // one slot per cacheline: the front half and the
+	// worker hand a slot back and forth, and two slots sharing a line
+	// would drag a neighbour's handoff traffic along with each one.
+}
+
+// devPar is one device's service channel: the bounded request ring plus
+// the three ownership domains described in the file comment. The
+// domains are padded onto separate cachelines so the front half's
+// bookkeeping stores never invalidate the worker's service cursor and
+// vice versa — only tail and the slot handoffs carry coherence traffic.
+type devPar struct {
+	// Read-mostly after StartParallel, shared by both sides.
+	dev   Device
+	q     *wpq
+	slots []devSlot
+	mask  uint64
+	_     [24]byte
+
+	// tail publishes submitted requests to the worker (release store by
+	// the front half, acquire load by the worker). Publication is lazy:
+	// submissions accumulate in the front-half-owned counters and the
+	// tail is stored only every tailBatch writes and before any join,
+	// amortising the producer→consumer line bounce over a burst.
+	tail atomic.Uint64
+	_    [56]byte
+
+	// Front-half-owned: submitted counts submissions, published mirrors
+	// the last tail store (lagging submitted by at most tailBatch-1),
+	// resolved counts joined completions. submitted - resolved never
+	// exceeds WPQDepth + 1 (every outstanding request but the last is a
+	// pending WPQ entry).
+	submitted uint64
+	published uint64
+	resolved  uint64
+	_         [40]byte
+
+	// Worker-owned while the worker runs: consumed is the service
+	// cursor, lastLand the drain-gap chain (seeded from the WPQ at
+	// StartParallel, synced back at StopParallel).
+	consumed uint64
+	lastLand sim.Cycles
+	_        [48]byte
+}
+
+// tailBatch is how many write submissions may sit unpublished before
+// the front half stores the ring tail. Any join publishes first, so a
+// batch in progress only ever delays the worker, never deadlocks it.
+const tailBatch = 4
+
+// parState is the controller's parallel-service extension.
+type parState struct {
+	devs []devPar
+	gap  sim.Cycles
+	stop atomic.Bool
+	wg   sync.WaitGroup
+}
+
+// StartParallel moves device service onto up to n host workers, one per
+// device at most (devices are stride-assigned when n is smaller). It
+// reports whether parallel service is on after the call: it refuses —
+// leaving the controller serial — when n is non-positive or when a
+// telemetry probe, fault injector, or write observer is attached, and
+// is a no-op when already started.
+func (c *Controller) StartParallel(n int) bool {
+	if c.par != nil {
+		return true
+	}
+	if n <= 0 || c.tel != nil || c.fault != nil || c.writeObs != nil {
+		return false
+	}
+	if n > len(c.devs) {
+		n = len(c.devs)
+	}
+	// The ring must hold every simultaneously outstanding request:
+	// at most WPQDepth unresolved writes plus one read.
+	ringCap := 1
+	for ringCap < c.cfg.WPQDepth+2 {
+		ringCap <<= 1
+	}
+	p := &parState{gap: c.cfg.DrainGapCycles, devs: make([]devPar, len(c.devs))}
+	for i := range p.devs {
+		dp := &p.devs[i]
+		dp.dev = c.devs[i]
+		dp.q = c.wpqs[i]
+		dp.slots = make([]devSlot, ringCap)
+		dp.mask = uint64(ringCap - 1)
+		dp.lastLand = c.wpqs[i].lastLand
+	}
+	c.par = p
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		own := make([]int, 0, (len(p.devs)+n-1)/n)
+		for i := w; i < len(p.devs); i += n {
+			own = append(own, i)
+		}
+		go p.worker(own)
+	}
+	return true
+}
+
+// StopParallel joins every outstanding completion, stops the workers,
+// and syncs the drain-gap chain back into the WPQ rings so a later
+// serial Run continues seamlessly. No-op when parallel service is off.
+func (c *Controller) StopParallel() {
+	p := c.par
+	if p == nil {
+		return
+	}
+	p.quiesce()
+	p.stop.Store(true)
+	p.wg.Wait()
+	for i := range p.devs {
+		c.wpqs[i].lastLand = p.devs[i].lastLand
+	}
+	c.par = nil
+}
+
+// Quiesce joins every outstanding device-service completion, making all
+// WPQ landing times exact and ordering the front half after every
+// worker-side device mutation. Callers that read device or WPQ state
+// out of band (Counters, WPQOccupancy, counter resets) quiesce first.
+// No-op when parallel service is off.
+func (c *Controller) Quiesce() {
+	if c.par != nil {
+		c.par.quiesce()
+	}
+}
+
+func (p *parState) quiesce() {
+	for i := range p.devs {
+		dp := &p.devs[i]
+		for dp.resolved < dp.submitted {
+			dp.resolveOne()
+		}
+	}
+}
+
+// worker services the rings of its owned devices until stopped,
+// backing off from hot spinning through Gosched to short sleeps when
+// idle (a read-only phase submits nothing for long stretches; its reads
+// take the inline fast path precisely because the ring is empty, so
+// sleep latency is never on the simulated critical path).
+func (p *parState) worker(own []int) {
+	defer p.wg.Done()
+	idle := 0
+	for {
+		worked := false
+		for _, i := range own {
+			dp := &p.devs[i]
+			t := dp.tail.Load()
+			for dp.consumed < t {
+				s := &dp.slots[dp.consumed&dp.mask]
+				if s.kind == opDevWrite {
+					start := sim.Max(s.at, dp.lastLand+p.gap)
+					landed := dp.dev.WriteLine(start, s.addr)
+					dp.lastLand = landed
+					s.result = landed
+				} else {
+					s.result = dp.dev.ReadLine(s.at, s.addr, s.demand)
+				}
+				s.done.Store(dp.consumed + 1)
+				dp.consumed++
+				worked = true
+			}
+		}
+		if worked {
+			idle = 0
+			continue
+		}
+		if p.stop.Load() {
+			return
+		}
+		idle++
+		switch {
+		case idle < 64:
+			// hot spin: a burst is likely mid-flight
+		case idle < 4096:
+			runtime.Gosched()
+		default:
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+// read services a read at arrival time at. With the device queue empty
+// the front half calls the device inline (no handoff latency — see the
+// memory-model note); otherwise the read is submitted behind the
+// outstanding writes and the front half joins completions, in order, up
+// to its own.
+func (p *parState) read(idx int, at sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
+	dp := &p.devs[idx]
+	if dp.resolved == dp.submitted {
+		return dp.dev.ReadLine(at, addr, demand)
+	}
+	seq := dp.submitted
+	s := &dp.slots[seq&dp.mask]
+	s.kind = opDevRead
+	s.addr = addr
+	s.at = at
+	s.demand = demand
+	dp.submitted++
+	for dp.resolved <= seq {
+		dp.resolveOne()
+	}
+	return s.result
+}
+
+// write admits an accepted write into the device's WPQ ring as a
+// pending entry — its acceptance time standing in as the landing-time
+// lower bound (the in-flight horizon) — and hands device service to the
+// worker. Mirrors wpq.push except that lastLand chains on the worker.
+func (p *parState) write(idx int, accept sim.Cycles, addr mem.Addr) {
+	dp := &p.devs[idx]
+	q := dp.q
+	tail := q.head + q.count
+	if tail >= len(q.land) {
+		tail -= len(q.land)
+	}
+	q.land[tail] = accept
+	q.pend[tail] = true
+	q.count++
+
+	seq := dp.submitted
+	s := &dp.slots[seq&dp.mask]
+	s.kind = opDevWrite
+	s.addr = addr
+	s.at = accept
+	s.wqIdx = int32(tail)
+	dp.submitted++
+	if dp.submitted-dp.published >= tailBatch {
+		dp.publish()
+	}
+}
+
+// publish stores the ring tail if any submissions are unpublished,
+// releasing their slot writes to the worker.
+func (dp *devPar) publish() {
+	if dp.published != dp.submitted {
+		dp.published = dp.submitted
+		dp.tail.Store(dp.submitted)
+	}
+}
+
+// freeSlotAt is wpq.freeSlotAt under parallel service: identical pop
+// decisions, except that a pending head entry whose in-flight horizon
+// has been reached must first be resolved to its exact landing time.
+// An entry whose horizon lies beyond now is certainly still in flight
+// and blocks the scan without a join, exactly as its true landing time
+// would have.
+func (p *parState) freeSlotAt(idx int, now sim.Cycles) sim.Cycles {
+	dp := &p.devs[idx]
+	q := dp.q
+	for q.count > 0 {
+		if q.pend[q.head] {
+			if q.land[q.head] > now {
+				break
+			}
+			dp.resolveTo(q.head)
+		}
+		if q.land[q.head] > now {
+			break
+		}
+		q.popHead()
+	}
+	if q.count < len(q.land) {
+		return now
+	}
+	// Full: wait for the oldest entry's exact landing time.
+	if q.pend[q.head] {
+		dp.resolveTo(q.head)
+	}
+	t := q.land[q.head]
+	q.popHead()
+	return t
+}
+
+// resolveTo joins completions in admission order until WPQ ring slot i
+// holds its exact landing time.
+func (dp *devPar) resolveTo(i int) {
+	for dp.q.pend[i] {
+		dp.resolveOne()
+	}
+}
+
+// resolveOne joins the oldest outstanding completion. For a write, the
+// exact landing time replaces the pending WPQ entry's lower bound; the
+// panic guards the lower-bound property every device model must keep
+// (landing strictly follows acceptance).
+func (dp *devPar) resolveOne() {
+	dp.publish()
+	seq := dp.resolved
+	s := &dp.slots[seq&dp.mask]
+	for i := 0; s.done.Load() != seq+1; i++ {
+		if i > 128 {
+			runtime.Gosched()
+		}
+	}
+	if s.kind == opDevWrite {
+		q := dp.q
+		if s.result < q.land[s.wqIdx] {
+			panic("imc: device landed a write before its in-flight horizon")
+		}
+		q.land[s.wqIdx] = s.result
+		q.pend[s.wqIdx] = false
+	}
+	dp.resolved++
+}

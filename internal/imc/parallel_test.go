@@ -1,0 +1,199 @@
+package imc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"optanesim/internal/dram"
+	"optanesim/internal/fault"
+	"optanesim/internal/mem"
+	"optanesim/internal/optane"
+	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
+)
+
+// buildPM returns a controller over n identically-seeded Optane DIMMs,
+// so a serial and a parallel controller see the same device behavior.
+func buildPM(t *testing.T, n int) *Controller {
+	t.Helper()
+	devs := make([]Device, n)
+	for i := range devs {
+		d, err := optane.NewDIMM(optane.G1(), 1+uint64(i)*7919)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = d
+	}
+	return NewController(DefaultConfig(), devs...)
+}
+
+// driveAndCompare feeds the same randomized request stream — bursty
+// writes that fill the WPQ rings, interleave-spanning addresses, and
+// synchronous reads — to a serial and a parallel controller, requiring
+// identical completion times, acceptance times, occupancy samples and
+// final counters.
+func driveAndCompare(t *testing.T, serial, par *Controller, seed int64, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	now := sim.Cycles(0)
+	for i := 0; i < ops; i++ {
+		now += sim.Cycles(rng.Intn(300))
+		// Addresses span many interleave granules so routing rotates.
+		addr := mem.PMBase + mem.Addr(rng.Intn(1<<14)*mem.CachelineSize)
+		switch rng.Intn(5) {
+		case 0:
+			demand := rng.Intn(2) == 0
+			ds := serial.Read(now, addr, demand)
+			dp := par.Read(now, addr, demand)
+			if ds != dp {
+				t.Fatalf("op %d: Read(%d, %#x) = %d parallel, %d serial", i, now, addr, dp, ds)
+			}
+		case 1:
+			// Burst: back-to-back writes at one arrival time exercise the
+			// full-ring wait (WPQDepth 64 < burst length).
+			for k := 0; k < 100; k++ {
+				a := addr + mem.Addr(k*mem.CachelineSize)
+				as, _ := serial.Write(now, a)
+				ap, _ := par.Write(now, a)
+				if as != ap {
+					t.Fatalf("op %d burst %d: Write accept = %d parallel, %d serial", i, k, ap, as)
+				}
+			}
+		default:
+			as, _ := serial.Write(now, addr)
+			ap, _ := par.Write(now, addr)
+			if as != ap {
+				t.Fatalf("op %d: Write(%d, %#x) accept = %d parallel, %d serial", i, now, addr, ap, as)
+			}
+		}
+		if i%512 == 0 {
+			if os, op := serial.WPQOccupancy(now), par.WPQOccupancy(now); os != op {
+				t.Fatalf("op %d: WPQOccupancy(%d) = %d parallel, %d serial", i, now, op, os)
+			}
+		}
+	}
+	cs, cp := serial.Counters(), par.Counters()
+	if cs != cp {
+		t.Fatalf("counters:\nparallel %+v\nserial   %+v", cp, cs)
+	}
+}
+
+// TestParallelControllerMatchesSerial drives randomized streams across
+// interleave widths, with mid-stream occupancy sampling (which
+// quiesces) and a final counter comparison.
+func TestParallelControllerMatchesSerial(t *testing.T) {
+	for _, nd := range []int{1, 2, 4} {
+		nd := nd
+		for seed := int64(1); seed <= 3; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("dimms%d_seed%d", nd, seed), func(t *testing.T) {
+				t.Parallel()
+				serial := buildPM(t, nd)
+				par := buildPM(t, nd)
+				if !par.StartParallel(nd) {
+					t.Fatal("StartParallel refused on a clean controller")
+				}
+				driveAndCompare(t, serial, par, seed, 4000)
+				par.StopParallel()
+			})
+		}
+	}
+}
+
+// TestParallelControllerDRAM covers the DRAM device model behind a
+// parallel controller (single device, port-limited writes).
+func TestParallelControllerDRAM(t *testing.T) {
+	serial := NewController(DefaultConfig(), dram.NewDIMM(dram.DDR4G1()))
+	par := NewController(DefaultConfig(), dram.NewDIMM(dram.DDR4G1()))
+	if !par.StartParallel(1) {
+		t.Fatal("StartParallel refused on a clean controller")
+	}
+	driveAndCompare(t, serial, par, 7, 4000)
+	par.StopParallel()
+}
+
+// TestParallelControllerStopStart pins the serial↔parallel transition:
+// the drain-gap chain and WPQ state must round-trip through
+// StopParallel so interleaved serial and parallel phases match a fully
+// serial controller exactly.
+func TestParallelControllerStopStart(t *testing.T) {
+	serial := buildPM(t, 2)
+	par := buildPM(t, 2)
+	rng := rand.New(rand.NewSource(42))
+	now := sim.Cycles(0)
+	for phase := 0; phase < 6; phase++ {
+		if phase%2 == 0 {
+			if !par.StartParallel(2) {
+				t.Fatalf("phase %d: StartParallel refused", phase)
+			}
+		}
+		for i := 0; i < 1500; i++ {
+			now += sim.Cycles(rng.Intn(100))
+			addr := mem.PMBase + mem.Addr(rng.Intn(1<<13)*mem.CachelineSize)
+			if rng.Intn(4) == 0 {
+				ds := serial.Read(now, addr, true)
+				dp := par.Read(now, addr, true)
+				if ds != dp {
+					t.Fatalf("phase %d op %d: read %d parallel, %d serial", phase, i, dp, ds)
+				}
+			} else {
+				as, ls := serial.Write(now, addr)
+				ap, lp := par.Write(now, addr)
+				if as != ap {
+					t.Fatalf("phase %d op %d: accept %d parallel, %d serial", phase, i, ap, as)
+				}
+				// In serial phases the landing times are exact on both.
+				if phase%2 == 1 && ls != lp {
+					t.Fatalf("phase %d op %d: landed %d parallel-side, %d serial", phase, i, lp, ls)
+				}
+			}
+		}
+		if phase%2 == 0 {
+			par.StopParallel()
+		}
+	}
+	if cs, cp := serial.Counters(), par.Counters(); cs != cp {
+		t.Fatalf("counters:\nphased %+v\nserial %+v", cp, cs)
+	}
+}
+
+// TestParallelStartRefusals pins the v1 observer gates at the
+// controller level.
+func TestParallelStartRefusals(t *testing.T) {
+	c := buildPM(t, 1)
+	rec := telemetry.NewRecorder("gate", telemetry.Config{})
+	c.SetTelemetry(rec.Probe("imc"))
+	if c.StartParallel(1) {
+		t.Error("StartParallel engaged under a telemetry probe")
+		c.StopParallel()
+	}
+	c.SetTelemetry(nil)
+
+	c.SetWriteObserver(func(mem.Addr, sim.Cycles, sim.Cycles) {})
+	if c.StartParallel(1) {
+		t.Error("StartParallel engaged under a write observer")
+		c.StopParallel()
+	}
+	c.SetWriteObserver(nil)
+
+	c.SetFaults(fault.New(fault.Config{}))
+	if c.StartParallel(1) {
+		t.Error("StartParallel engaged under a fault injector")
+		c.StopParallel()
+	}
+	c.SetFaults(nil)
+
+	if c.StartParallel(0) {
+		t.Error("StartParallel engaged with zero workers")
+	}
+	if !c.StartParallel(8) {
+		t.Error("StartParallel refused on a clean controller")
+	}
+	// Idempotent while running.
+	if !c.StartParallel(2) {
+		t.Error("StartParallel not idempotent while running")
+	}
+	c.StopParallel()
+	c.StopParallel() // no-op when off
+}

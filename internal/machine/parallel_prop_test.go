@@ -1,0 +1,166 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+
+	"optanesim/internal/mem"
+)
+
+// The property tests below pin parallel device service
+// (SetParallelDevices; internal/imc's parallel.go) against serial
+// service: for randomized op mixes, thread placements, DIMM counts and
+// generations, every simulated outcome — final time, per-thread clocks,
+// op counts, tag attribution, and PM/DRAM counters including the WPQ
+// occupancy peak — must be cycle-identical with device workers on and
+// off, under both the lookahead scheduler and the compat per-op baton.
+// CI runs them under -race, which doubles as the data-race check on the
+// SPSC rings and the inline-read ownership transfer.
+
+// runScenarioDev runs a scenario on a gen-1 or gen-2 testbed with the
+// given PM interleave width and device-worker request.
+func runScenarioDev(sc schedScenario, gen, dimms, workers int, compat bool) schedOutcome {
+	cfg := G1Config(sc.cores)
+	if gen == 2 {
+		cfg = G2Config(sc.cores)
+	}
+	cfg.PMDIMMs = dimms
+	sys := MustNewSystem(cfg)
+	sys.compatSched = compat
+	sys.SetThreadsIsolated(sc.isolated)
+	sys.SetParallelDevices(workers)
+	return runScripts(sys, sc)
+}
+
+// TestParallelDevicesMatchSerialReference sweeps randomized scenarios
+// across generations, interleave widths and worker counts (including
+// fewer workers than DIMMs, which exercises stride assignment).
+func TestParallelDevicesMatchSerialReference(t *testing.T) {
+	dimmsChoices := []int{1, 2, 4, 6}
+	workerChoices := []int{1, 2, 8}
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		gen := 1 + int(seed%2)
+		dimms := dimmsChoices[seed%4]
+		workers := workerChoices[seed%3]
+		t.Run(fmt.Sprintf("seed%d_g%d_d%d_w%d", seed, gen, dimms, workers), func(t *testing.T) {
+			t.Parallel()
+			sc := genScenario(seed)
+			want := runScenarioDev(sc, gen, dimms, 0, false)
+			got := runScenarioDev(sc, gen, dimms, workers, false)
+			compareOutcomes(t, want, got)
+			// The compat per-op baton is the strictest arrival-order
+			// reference; parallel service must be invisible under it too.
+			wantC := runScenarioDev(sc, gen, dimms, 0, true)
+			gotC := runScenarioDev(sc, gen, dimms, workers, true)
+			compareOutcomes(t, wantC, gotC)
+		})
+	}
+}
+
+// TestParallelDevicesAcrossRuns reuses one System for several Runs with
+// parallel service on: the drain-gap chain (lastLand) must survive the
+// worker start/stop at every Run boundary, and a serial Run in between
+// must continue from the parallel Run's state seamlessly.
+func TestParallelDevicesAcrossRuns(t *testing.T) {
+	body := func(base mem.Addr) func(*Thread) {
+		return func(th *Thread) {
+			for i := 0; i < 3000; i++ {
+				a := base + mem.Addr((i%512)*mem.CachelineSize)
+				th.NTStore(a)
+				if i%8 == 7 {
+					th.SFence()
+				}
+				th.Load(a + 64*mem.CachelineSize)
+			}
+			th.SFence()
+		}
+	}
+	run := func(workers int) (ends []int64, pm, dram string) {
+		cfg := G1Config(1)
+		cfg.PMDIMMs = 2
+		sys := MustNewSystem(cfg)
+		for r := 0; r < 3; r++ {
+			// Middle Run serial even when workers are requested: the
+			// request is sticky, so toggle it off and back on.
+			if r == 1 {
+				sys.SetParallelDevices(0)
+			} else {
+				sys.SetParallelDevices(workers)
+			}
+			sys.Go("t", 0, false, body(mem.PMBase+mem.Addr(r)*mem.XPLineSize))
+			ends = append(ends, int64(sys.Run()))
+		}
+		return ends, fmt.Sprintf("%+v", sys.PMCounters()), fmt.Sprintf("%+v", sys.DRAMCounters())
+	}
+	wantEnds, wantPM, wantDRAM := run(0)
+	gotEnds, gotPM, gotDRAM := run(2)
+	for r := range wantEnds {
+		if gotEnds[r] != wantEnds[r] {
+			t.Errorf("run %d end: parallel %d, serial %d", r, gotEnds[r], wantEnds[r])
+		}
+	}
+	if gotPM != wantPM {
+		t.Errorf("PM counters:\nparallel %s\nserial   %s", gotPM, wantPM)
+	}
+	if gotDRAM != wantDRAM {
+		t.Errorf("DRAM counters:\nparallel %s\nserial   %s", gotDRAM, wantDRAM)
+	}
+}
+
+// TestParallelDevicesMidRunCounters pins the quiesce points: a thread
+// body that resets and reads counters mid-Run (the fig3/fig13/sec33
+// warmup pattern) must observe the same values with device workers on.
+func TestParallelDevicesMidRunCounters(t *testing.T) {
+	run := func(workers int) (mid, final string) {
+		cfg := G1Config(1)
+		cfg.PMDIMMs = 4
+		sys := MustNewSystem(cfg)
+		sys.SetParallelDevices(workers)
+		sys.Go("t", 0, false, func(th *Thread) {
+			for i := 0; i < 2000; i++ {
+				a := mem.PMBase + mem.Addr(i*mem.CachelineSize)
+				th.NTStore(a)
+			}
+			th.SFence()
+			mid = fmt.Sprintf("%+v occ=%d", sys.PMCounters(), 0)
+			sys.ResetCounters()
+			for i := 0; i < 2000; i++ {
+				a := mem.PMBase + mem.Addr((1<<20)+i*mem.CachelineSize)
+				th.NTStore(a)
+				th.Load(a)
+			}
+			th.SFence()
+		})
+		sys.Run()
+		return mid, fmt.Sprintf("%+v", sys.PMCounters())
+	}
+	wantMid, wantFinal := run(0)
+	gotMid, gotFinal := run(4)
+	if gotMid != wantMid {
+		t.Errorf("mid-run counters:\nparallel %s\nserial   %s", gotMid, wantMid)
+	}
+	if gotFinal != wantFinal {
+		t.Errorf("final counters:\nparallel %s\nserial   %s", gotFinal, wantFinal)
+	}
+}
+
+// TestParallelDevicesAutoDisable pins the v1 gates: telemetry
+// recorders, persist observers and fault injectors keep device service
+// serial even when workers are requested (they consume per-write
+// landing times or arrival-ordered event streams).
+func TestParallelDevicesAutoDisable(t *testing.T) {
+	cfg := G1Config(1)
+	sys := MustNewSystem(cfg)
+	sys.SetParallelDevices(4)
+	sys.ObservePersist(func(PersistEvent) {})
+	if sys.startParallelDevices() {
+		t.Error("parallel devices engaged under a persist observer")
+		sys.stopParallelDevices()
+	}
+	sys.ObservePersist(nil)
+	if !sys.startParallelDevices() {
+		t.Error("parallel devices did not engage after observer detached")
+	}
+	sys.stopParallelDevices()
+}

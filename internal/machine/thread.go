@@ -502,6 +502,11 @@ func (t *Thread) recordFlush(accept sim.Cycles) {
 // write is posted to the WPQ. The thread does not wait for acceptance —
 // that is the following fence's job — but stalls if too many flushes are
 // outstanding.
+//
+// Like every machine-layer write path (flush, flushExpired,
+// spillVictim), only the acceptance time is consumed: the landing time
+// is controller-internal, which is what lets SetParallelDevices defer
+// device service off-thread without changing any observable cycle.
 func (t *Thread) NTStore(addr mem.Addr) {
 	t.scheduleShared()
 	start := t.now

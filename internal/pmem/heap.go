@@ -60,6 +60,19 @@ func (h *Heap) Alloc(n, align uint64) mem.Addr {
 	return h.base + mem.Addr(off)
 }
 
+// Carve reserves size bytes (aligned to align) and returns a heap
+// owning exactly that range: the same backing bytes viewed through a
+// private bump pointer. Carving a parent heap once per simulated
+// thread before Run gives each thread a disjoint slice of the address
+// space it can allocate from mid-run without mutating any shared host
+// state — the shape SetThreadsIsolated workloads need when their data
+// structures allocate (e.g. CCEH segment splits).
+func (h *Heap) Carve(size, align uint64) *Heap {
+	a := h.Alloc(size, align)
+	start := uint64(a - h.base)
+	return &Heap{name: h.name, base: a, buf: h.buf[start : start+size]}
+}
+
 // Contains reports whether addr falls inside the heap.
 func (h *Heap) Contains(addr mem.Addr) bool {
 	return addr >= h.base && addr < h.base+mem.Addr(len(h.buf))

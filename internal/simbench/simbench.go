@@ -155,6 +155,47 @@ func Contended4(b *testing.B) { contended(b, 4) }
 // Contended8 measures eight threads contending on the WPQ persist path.
 func Contended8(b *testing.B) { contended(b, 8) }
 
+// multiDIMM is the shared body for the MultiDIMM variants: one thread
+// streams nt-stores across an interleave of `dimms` PM DIMMs — the
+// bandwidth-loop shape that the parallel device-service mode
+// (machine.System.SetParallelDevices) targets. Sequential cacheline
+// addresses walk the 4 KB interleave granules, so consecutive writes
+// rotate across every DIMM every lap. The benchmark itself runs the
+// serial service path so the committed ns/op baseline stays
+// deterministic on any host core count; the parallel mode's
+// cycle-identical results and host-side behaviour are pinned by the
+// property tests and the serial-vs-parallel CI byte-identity gate (see
+// EXPERIMENTS.md "Parallel device service").
+func multiDIMM(b *testing.B, dimms int) {
+	cfg := machine.G1Config(1)
+	cfg.PMDIMMs = dimms
+	sys := machine.MustNewSystem(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sys.Go("bench-md", 0, false, func(t *machine.Thread) {
+		// Span dimms granules' worth of lines so routing rotates across
+		// the whole interleave set every lap.
+		lines := dimms * (4 << 10) / mem.CachelineSize
+		for i := 0; i < b.N; i++ {
+			t.NTStore(mem.PMBase + mem.Addr((i%lines)*mem.CachelineSize))
+			if i%16 == 15 {
+				t.SFence()
+			}
+		}
+		t.SFence()
+	})
+	sys.Run()
+}
+
+// MultiDIMM2 measures nt-store streaming over a 2-DIMM interleave.
+func MultiDIMM2(b *testing.B) { multiDIMM(b, 2) }
+
+// MultiDIMM4 measures nt-store streaming over a 4-DIMM interleave.
+func MultiDIMM4(b *testing.B) { multiDIMM(b, 4) }
+
+// MultiDIMM8 measures nt-store streaming over an 8-DIMM interleave.
+func MultiDIMM8(b *testing.B) { multiDIMM(b, 8) }
+
 // attachRecorder turns telemetry on for a benchmark system: every probe
 // goes live and the gauge sampler runs at its default period, so the
 // telemetry benchmarks measure the full recording cost, not a stub.
