@@ -8,12 +8,13 @@
 //	         [-cpuprofile f] [-memprofile f] [-progress] [-seed N] [-fault SPEC]
 //	         [-device-workers N]
 //	         [-trace-out f] [-events-out f] [-sample-out f]
+//	         [-breakdown] [-hist-out f]
 //	         [-sample-every N] [-event-cap N] [-telemetry-addr a]
 //	         <experiment>...
 //
 // where experiment is one of: fig2 fig3 fig4 fig6 fig7 fig8 table1
 // fig10 fig12 fig13 fig14 ablation bandwidth ycsb sec33 latency indexes
-// crashmatrix replay faultmatrix all. -quick runs each experiment at
+// crashmatrix replay faultmatrix tenants all. -quick runs each experiment at
 // reduced scale (useful for smoke tests); the default scale is what
 // EXPERIMENTS.md records. The replay experiment runs the bundled
 // external traces through the internal/replay frontend (see
@@ -28,10 +29,11 @@
 //
 // -device-workers N asks the opt-in experiments (bandwidth, fig13,
 // fig14) to service DIMM requests on per-DIMM host workers
-// (machine.System.SetParallelDevices). Every result — printed tables
-// and -json records alike — is byte-identical to the serial default;
-// the request auto-disables on systems carrying telemetry or fault
-// injection. This is a wall-clock knob only.
+// (machine.System.SetParallelDevices). Every result — printed tables,
+// -json records, and recorded telemetry (events, samples, breakdown
+// histograms) alike — is byte-identical to the serial default; the
+// request auto-disables on systems carrying fault injection. This is a
+// wall-clock knob only.
 //
 // Independent experiment units (e.g. the two generations of fig2, the
 // eight panels of fig8) execute concurrently on a pool of -j workers,
@@ -44,9 +46,14 @@
 // internal/telemetry): -trace-out exports a Chrome trace-event timeline
 // loadable in Perfetto, -events-out and -sample-out write the raw event
 // stream and gauge time-series as JSON lines, and -telemetry-addr serves
-// live /metrics plus /debug/pprof while the sweep runs. All recorded
-// output is deterministic across -j values; -progress lines (stderr,
-// completion order) and the live endpoint are the only unordered output.
+// live /metrics plus /debug/pprof while the sweep runs. -breakdown
+// attributes every op's latency to a fixed component vocabulary
+// (internal/telemetry's cycle-attribution layer) and prints a
+// per-unit, per-tenant table of HDR-histogram quantiles under each
+// unit's result; -hist-out writes the same histograms' summaries as
+// JSON lines. All recorded output is deterministic across -j values;
+// -progress lines (stderr, completion order) and the live endpoint are
+// the only unordered output.
 package main
 
 import (
@@ -176,6 +183,10 @@ func main() {
 			ur := r.Value.(bench.UnitResult)
 			unitResults = append(unitResults, ur)
 			fmt.Println(ur.Text)
+			if *breakdown && ur.Telemetry != nil && ur.Telemetry.Breakdown != nil {
+				ur.Telemetry.Breakdown.WriteTable(os.Stdout)
+				fmt.Println()
+			}
 			if *doPlots {
 				maybePlot(ur)
 			}
@@ -272,15 +283,20 @@ func firstLine(s string) string {
 // its header alone. Only simulation-relevant flags appear — never
 // timestamps or -j, which cannot change a byte of the .jsonl files
 // (device_workers cannot either, but it is the claim CI's cmp gate
-// checks, so the header states it).
+// checks, so the header states it). The telemetry knobs — sample
+// period, event-ring capacity, breakdown recording — shape the
+// recorded telemetry sinks, so the header pins them too.
 func writeRunHeader(dir string, run []string) error {
 	hdr := struct {
 		Quick         bool     `json:"quick"`
 		Seed          uint64   `json:"seed"`
 		Fault         string   `json:"fault,omitempty"`
 		DeviceWorkers int      `json:"device_workers"`
+		SampleEvery   int64    `json:"sample_every"`
+		EventCap      int      `json:"event_cap"`
+		Breakdown     bool     `json:"breakdown"`
 		Experiments   []string `json:"experiments"`
-	}{*quick, *seed, *faultSpec, *devWorkers, run}
+	}{*quick, *seed, *faultSpec, *devWorkers, *sampleEvery, *eventCap, breakdownEnabled(), run}
 	data, err := json.MarshalIndent(hdr, "", "  ")
 	if err != nil {
 		return err
@@ -298,6 +314,6 @@ func writeJSONL(dir, name string, results []bench.UnitResult) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] [-cpuprofile f] [-memprofile f] [-progress] [-seed N] [-fault SPEC] [-device-workers N] [-trace-out f] [-events-out f] [-sample-out f] [-sample-every N] [-event-cap N] [-telemetry-addr a] <experiment>...\nexperiments: %v all\n",
+	fmt.Fprintf(os.Stderr, "usage: optbench [-quick] [-j N] [-json dir] [-plot] [-timeout D] [-keep-going] [-cpuprofile f] [-memprofile f] [-progress] [-seed N] [-fault SPEC] [-device-workers N] [-trace-out f] [-events-out f] [-sample-out f] [-breakdown] [-hist-out f] [-sample-every N] [-event-cap N] [-telemetry-addr a] <experiment>...\nexperiments: %v all\n",
 		bench.ExperimentNames())
 }

@@ -21,12 +21,20 @@ var (
 	eventCap      = flag.Int("event-cap", telemetry.DefaultEventCap, "per-unit event ring capacity (most recent events kept)")
 	telemetryAddr = flag.String("telemetry-addr", "", "serve live /metrics and /debug/pprof on this address (e.g. :9090) for the duration of the run")
 	progress      = flag.Bool("progress", false, "print a per-unit completion line (unit, wall time, sim cycles) to stderr as units finish")
+	breakdown     = flag.Bool("breakdown", false, "attribute every op's cycles to latency components and print a per-unit breakdown table")
+	histOut       = flag.String("hist-out", "", "write the per-unit attribution histogram summaries as JSON lines to this file (implies -breakdown recording)")
 )
 
 // telemetryEnabled reports whether any per-unit recording sink was
 // requested. The live endpoint and -progress work without recording.
 func telemetryEnabled() bool {
-	return *traceOut != "" || *eventsOut != "" || *samplesOut != ""
+	return *traceOut != "" || *eventsOut != "" || *samplesOut != "" ||
+		*breakdown || *histOut != ""
+}
+
+// breakdownEnabled reports whether cycle attribution should record.
+func breakdownEnabled() bool {
+	return *breakdown || *histOut != ""
 }
 
 // telemetryFactory builds the per-unit Recorder factory handed to the
@@ -39,6 +47,7 @@ func telemetryFactory() func(unit string) *telemetry.Recorder {
 	cfg := telemetry.Config{
 		EventCap:    *eventCap,
 		SampleEvery: sim.Cycles(*sampleEvery),
+		Breakdown:   breakdownEnabled(),
 	}
 	return func(unit string) *telemetry.Recorder { return telemetry.NewRecorder(unit, cfg) }
 }
@@ -75,6 +84,9 @@ func runnerHooks(cfg *runner.Config, live *telemetry.Live) {
 		var cycles int64
 		if ur, ok := r.Value.(bench.UnitResult); ok {
 			cycles = int64(ur.SimCycles)
+			if live != nil && ur.Telemetry != nil {
+				live.ObserveBreakdown(ur.Telemetry.Breakdown)
+			}
 		}
 		if live != nil {
 			live.UnitDone(r.ID, r.Elapsed(), cycles, r.Err != nil)
@@ -140,6 +152,13 @@ func writeTelemetrySinks(recs []*telemetry.Recording) error {
 			return telemetry.WriteSamplesJSONL(f, recs...)
 		}); err != nil {
 			return fmt.Errorf("sample-out: %w", err)
+		}
+	}
+	if *histOut != "" {
+		if err := writeTo(*histOut, func(f *os.File) error {
+			return telemetry.WriteHistsJSONL(f, recs...)
+		}); err != nil {
+			return fmt.Errorf("hist-out: %w", err)
 		}
 	}
 	return nil

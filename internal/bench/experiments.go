@@ -38,8 +38,9 @@ type Options struct {
 	// lives) to service device requests on per-DIMM host workers
 	// (machine.System.SetParallelDevices). Results are byte-identical to
 	// the serial default — pinned by TestParallelDeviceUnitsByteIdentical
-	// and the CI cmp gate — and the request auto-disables on systems
-	// running with telemetry or fault injection attached.
+	// and the CI cmp gate. Telemetry composes (worker-side capture keeps
+	// the event stream, samples and breakdown histograms byte-identical
+	// to serial); fault injection still auto-disables the request.
 	DeviceWorkers int
 }
 
@@ -189,6 +190,7 @@ var registry = []experimentSpec{
 	{"crashmatrix", crashmatrixUnits},
 	{"replay", replayUnits},
 	{"faultmatrix", faultmatrixUnits},
+	{"tenants", tenantsUnits},
 }
 
 // ExperimentNames lists the registered experiments in the paper's

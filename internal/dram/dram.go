@@ -7,6 +7,7 @@ package dram
 import (
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
 	"optanesim/internal/trace"
 )
 
@@ -45,6 +46,10 @@ type DIMM struct {
 	prof  Profile
 	ports *sim.Ports
 	c     trace.Counters
+
+	// attr, when non-nil, is the shared cycle-attribution scratchpad the
+	// DIMM charges its port service time into.
+	attr *telemetry.OpAttr
 }
 
 // NewDIMM constructs a DRAM DIMM.
@@ -65,6 +70,22 @@ func (d *DIMM) Counters() *trace.Counters { return &d.c }
 // RAPWindow reports the device's read-after-persist hazard window.
 func (d *DIMM) RAPWindow() sim.Cycles { return d.prof.RAPWindowCycles }
 
+// SetAttr attaches (or, with nil, detaches) the DIMM's cycle-attribution
+// scratchpad.
+func (d *DIMM) SetAttr(a *telemetry.OpAttr) { d.attr = a }
+
+// SwapAttr replaces the DIMM's cycle-attribution handle, returning the
+// previous one (imc.Device's worker-side capture hook).
+func (d *DIMM) SwapAttr(a *telemetry.OpAttr) *telemetry.OpAttr {
+	old := d.attr
+	d.attr = a
+	return old
+}
+
+// SwapTelemetry satisfies imc.Device; the DRAM model emits no events, so
+// there is no probe to swap.
+func (d *DIMM) SwapTelemetry(p *telemetry.Probe) *telemetry.Probe { return nil }
+
 // CommitSlack reports zero: port acquisition order is observable (a
 // later-arriving access can be delayed by an earlier one holding a
 // port), so accesses must arrive in exact simulated-time order.
@@ -75,6 +96,9 @@ func (d *DIMM) ReadLine(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
 	d.c.IMCReadBytes += mem.CachelineSize
 	d.c.MediaReadBytes += mem.CachelineSize
 	_, done := d.ports.Acquire(now, d.prof.ReadCycles)
+	if a := d.attr; a != nil {
+		a.Add(telemetry.CompDRAM, done-now)
+	}
 	return done
 }
 
@@ -83,5 +107,8 @@ func (d *DIMM) WriteLine(now sim.Cycles, addr mem.Addr) sim.Cycles {
 	d.c.IMCWriteBytes += mem.CachelineSize
 	d.c.MediaWriteBytes += mem.CachelineSize
 	_, done := d.ports.Acquire(now, d.prof.WriteCycles)
+	if a := d.attr; a != nil {
+		a.Add(telemetry.CompDRAM, done-now)
+	}
 	return done
 }

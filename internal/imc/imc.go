@@ -34,6 +34,15 @@ type Device interface {
 	CommitSlack() sim.Cycles
 	// Counters exposes the device's traffic counters.
 	Counters() *trace.Counters
+	// SwapTelemetry replaces the device's telemetry probe, returning the
+	// previous one. Parallel device workers (parallel.go) swap a capture
+	// probe in around each serviced request; devices without event
+	// emission return nil and may ignore the set.
+	SwapTelemetry(p *telemetry.Probe) *telemetry.Probe
+	// SwapAttr replaces the device's cycle-attribution handle, returning
+	// the previous one — the same worker-side capture dance as
+	// SwapTelemetry. Devices that charge no components may ignore it.
+	SwapAttr(a *telemetry.OpAttr) *telemetry.OpAttr
 }
 
 // Config parameterizes a controller.
@@ -137,9 +146,13 @@ type Controller struct {
 	// Write, an observer sees every transfer into the ADR domain.
 	writeObs func(addr mem.Addr, accept, landed sim.Cycles)
 
-	// tel, when non-nil, receives WPQ enqueue/drain and hazard-stall
+	// tel, when non-nil, receives WPQ enqueue/drain/wait and hazard-stall
 	// events; nil keeps the disabled path to a single pointer test.
 	tel *telemetry.Probe
+	// attr, when non-nil, is the shared cycle-attribution scratchpad: the
+	// controller charges its queueing, hazard and acceptance components
+	// into it, and wraps each write in an isolated service episode.
+	attr *telemetry.OpAttr
 	// wpqPeak is the high-water occupancy across all WPQs.
 	wpqPeak int
 
@@ -158,6 +171,10 @@ type Controller struct {
 // SetTelemetry attaches (or, with nil, detaches) the controller's event
 // probe.
 func (c *Controller) SetTelemetry(p *telemetry.Probe) { c.tel = p }
+
+// SetAttr attaches (or, with nil, detaches) the controller's
+// cycle-attribution scratchpad.
+func (c *Controller) SetAttr(a *telemetry.OpAttr) { c.attr = a }
 
 // SetWriteObserver registers fn to observe every write's acceptance and
 // landing times (nil detaches).
@@ -236,11 +253,19 @@ func (c *Controller) WPQOccupancy(now sim.Cycles) int {
 // time. demand marks program-demanded reads. Reads are synchronous and
 // stall on an open read-after-persist hazard for the target line.
 func (c *Controller) Read(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
+	a := c.attr
+	if a != nil && !demand {
+		// Prefetch reads are service work the op does not wait on.
+		a.BeginService()
+	}
 	line := addr.Line()
 	if hu, ok := c.hazards.get(line); ok {
 		if hu > now {
 			if c.tel != nil {
 				c.tel.Emit(now, telemetry.KindHazardStall, line, uint64(hu-now))
+			}
+			if a != nil {
+				a.Add(telemetry.CompHazard, hu-now)
 			}
 			now = hu
 		} else {
@@ -249,10 +274,18 @@ func (c *Controller) Read(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles
 	}
 	c.observe(now)
 	idx := c.route(addr)
+	var done sim.Cycles
 	if c.par != nil {
-		return c.par.read(idx, now+c.cfg.RPQCycles, addr, demand) + c.cfg.BusCycles
+		done = c.par.read(idx, now+c.cfg.RPQCycles, addr, demand)
+	} else {
+		done = c.devs[idx].ReadLine(now+c.cfg.RPQCycles, addr, demand)
 	}
-	done := c.devs[idx].ReadLine(now+c.cfg.RPQCycles, addr, demand)
+	if a != nil {
+		a.Add(telemetry.CompIMCQueue, c.cfg.RPQCycles+c.cfg.BusCycles)
+		if !demand {
+			a.EndService()
+		}
+	}
 	return done + c.cfg.BusCycles
 }
 
@@ -265,32 +298,49 @@ func (c *Controller) Read(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles
 // Under parallel device service the landing time is still in flight on
 // a device worker when Write returns; landed is then the acceptance
 // time, a documented lower bound. No enabled caller consumes it —
-// observers that need exact landing times (telemetry, crash tracking)
-// keep the controller serial (see StartParallel).
+// observers that need exact landing times (crash tracking, fault
+// injection) keep the controller serial, while telemetry and
+// attribution compose through deferred join-point merging (see
+// StartParallel and parallel.go).
 func (c *Controller) Write(now sim.Cycles, addr mem.Addr) (accept, landed sim.Cycles) {
+	a := c.attr
+	line := addr.Line()
+	if p := c.par; p != nil {
+		return c.writeParallel(p, now, addr, line)
+	}
+	// Every write is its own isolated service episode: acceptance costs
+	// plus the device-side install/evict cascade record as one sample,
+	// the same granularity the parallel join path reassembles.
+	var savedBank telemetry.CompBank
+	var savedDirty bool
+	if a != nil {
+		savedBank, savedDirty = a.BeginIsolated()
+	}
 	if c.fault != nil {
 		if until := c.fault.StallUntil(now); until > now {
 			if c.tel != nil {
-				c.tel.Emit(now, telemetry.KindWPQStall, addr.Line(), uint64(until-now))
+				c.tel.Emit(now, telemetry.KindWPQStall, line, uint64(until-now))
+			}
+			if a != nil {
+				a.Add(telemetry.CompAcceptPause, until-now)
 			}
 			now = until
 		}
 	}
 	idx := c.route(addr)
 	q := c.wpqs[idx]
-	if p := c.par; p != nil {
-		slotAt := p.freeSlotAt(idx, now)
-		accept = sim.Max(now, slotAt) + c.cfg.WPQAcceptCycles
-		p.write(idx, accept, addr)
-		if q.count > c.wpqPeak {
-			c.wpqPeak = q.count
-		}
-		c.hazards.setMax(addr.Line(), accept+c.devs[idx].RAPWindow())
-		c.observe(accept)
-		c.maybePruneHazards()
-		return accept, accept
-	}
 	slotAt := q.freeSlotAt(now)
+	if slotAt > now {
+		if c.tel != nil {
+			c.tel.Emit(now, telemetry.KindWPQWait, line, uint64(slotAt-now))
+		}
+		if a != nil {
+			a.Add(telemetry.CompWPQWait, slotAt-now)
+		}
+	}
+	if a != nil {
+		a.Add(telemetry.CompWPQAccept, c.cfg.WPQAcceptCycles)
+	}
 	accept = sim.Max(now, slotAt) + c.cfg.WPQAcceptCycles
 	start := sim.Max(accept, q.lastLand+c.cfg.DrainGapCycles)
 	landed = c.devs[idx].WriteLine(start, addr)
@@ -299,11 +349,13 @@ func (c *Controller) Write(now sim.Cycles, addr mem.Addr) (accept, landed sim.Cy
 		c.wpqPeak = q.count
 	}
 	if c.tel != nil {
-		c.tel.Emit(accept, telemetry.KindWPQEnqueue, addr.Line(), uint64(q.count))
-		c.tel.Emit(landed, telemetry.KindWPQDrain, addr.Line(), 0)
+		c.tel.Emit(accept, telemetry.KindWPQEnqueue, line, uint64(q.count))
+		c.tel.Emit(landed, telemetry.KindWPQDrain, line, 0)
+	}
+	if a != nil {
+		a.EndIsolated(savedBank, savedDirty)
 	}
 
-	line := addr.Line()
 	hazard := accept + c.devs[idx].RAPWindow()
 	c.hazards.setMax(line, hazard)
 	c.observe(accept)
@@ -312,6 +364,59 @@ func (c *Controller) Write(now sim.Cycles, addr mem.Addr) (accept, landed sim.Cy
 		c.writeObs(addr, accept, landed)
 	}
 	return accept, landed
+}
+
+// writeParallel is Write's admission path under parallel device service.
+// The fault injector is structurally absent here (StartParallel refuses
+// it), so the serial path's accept-pause handling has no counterpart.
+// With observability on, the front half emits its own events eagerly
+// (the deferred stream queues them in serial position), reserves stream
+// holes for the in-flight device events and the drain event, and banks
+// its acceptance components in the request's obsSlot for the join to
+// pool with the worker's capture.
+func (c *Controller) writeParallel(p *parState, now sim.Cycles, addr mem.Addr, line mem.Addr) (accept, landed sim.Cycles) {
+	idx := c.route(addr)
+	q := c.wpqs[idx]
+	slotAt := p.freeSlotAt(idx, now)
+	wait := slotAt - now
+	if wait > 0 && c.tel != nil {
+		c.tel.Emit(now, telemetry.KindWPQWait, line, uint64(wait))
+	}
+	accept = sim.Max(now, slotAt) + c.cfg.WPQAcceptCycles
+	dp := &p.devs[idx]
+	var o *obsSlot
+	if p.obs {
+		// The obs slot's worker-read fields must be in place before
+		// p.write can publish the ring tail.
+		o = &dp.obs[dp.submitted&dp.mask]
+		o.svcDepth = 1
+		o.line = line
+		o.front = telemetry.CompBank{}
+		if wait > 0 {
+			o.front[telemetry.CompWPQWait] = wait
+		}
+		o.front[telemetry.CompWPQAccept] = c.cfg.WPQAcceptCycles
+		o.tenant = 0
+		if p.attr != nil {
+			o.tenant = p.attr.CurrentTenant()
+		}
+		o.devHole, o.drainHole = nil, nil
+		if dp.cap != nil {
+			o.devHole = c.tel.Hole()
+		}
+	}
+	p.write(idx, accept, addr)
+	if q.count > c.wpqPeak {
+		c.wpqPeak = q.count
+	}
+	if c.tel != nil {
+		c.tel.Emit(accept, telemetry.KindWPQEnqueue, line, uint64(q.count))
+		o.drainHole = c.tel.Hole()
+	}
+	c.hazards.setMax(line, accept+c.devs[idx].RAPWindow())
+	c.observe(accept)
+	c.maybePruneHazards()
+	return accept, accept
 }
 
 // CommitSlack reports how far past another thread's arrival time an

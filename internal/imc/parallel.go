@@ -56,9 +56,24 @@ package imc
 // Counters, ResetCounters): joining the last completion acquired the
 // worker's writes, and the next tail publication releases the front
 // half's, so ownership of the device state transfers cleanly back and
-// forth. StartParallel refuses to engage while a telemetry probe, fault
-// injector, or write observer is attached — those consume per-write
-// landing times or arrival-ordered event streams on the front side.
+// forth. StartParallel refuses to engage while a fault injector or
+// write observer is attached — those consume per-write landing times or
+// arrival-ordered event streams on the front side.
+//
+// # Telemetry composition
+//
+// A telemetry probe or attribution scratchpad composes instead of
+// refusing. Worker-side device service captures its would-be emissions
+// into a per-device side buffer: before servicing a request the worker
+// swaps the device's probe for a capture probe (same source id, same
+// timeline base, so captured events are byte-identical to inline ones)
+// and its attribution handle for a capture scratchpad; after servicing
+// it copies the captured events and banks into the request's obsSlot
+// and publishes through the same done counter. The front half reserves
+// a stream hole at each write admission (the serial position of the
+// write's device events) plus one for its drain event, and fills both
+// at the join point — so the final event stream, and every histogram,
+// is byte-identical to serial service.
 
 import (
 	"runtime"
@@ -68,6 +83,7 @@ import (
 
 	"optanesim/internal/mem"
 	"optanesim/internal/sim"
+	"optanesim/internal/telemetry"
 )
 
 // Device-service operation kinds carried in ring slots.
@@ -95,6 +111,32 @@ type devSlot struct {
 	// would drag a neighbour's handoff traffic along with each one.
 }
 
+// obsSlot carries one request's observability state alongside its
+// devSlot when telemetry or attribution is on. Request fields
+// (svcDepth) are written by the front half before the tail publication;
+// capture fields (events, banks, flushes) by the worker before the done
+// publication; join fields (holes, front bank, tenant, line) are
+// front-half-owned throughout.
+type obsSlot struct {
+	// svcDepth seeds the capture scratchpad's bank router: 1 for
+	// requests admitted inside a service episode (writes, prefetch
+	// reads), 0 for demand reads.
+	svcDepth uint8
+
+	// Worker-side capture output.
+	events     []telemetry.Event
+	capOp      telemetry.CompBank
+	capSvc     telemetry.CompBank
+	capFlushes []telemetry.CompBank
+
+	// Front-half join state for writes.
+	devHole   *telemetry.StreamHole
+	drainHole *telemetry.StreamHole
+	line      mem.Addr
+	front     telemetry.CompBank
+	tenant    int
+}
+
 // devPar is one device's service channel: the bounded request ring plus
 // the three ownership domains described in the file comment. The
 // domains are padded onto separate cachelines so the front half's
@@ -106,7 +148,18 @@ type devPar struct {
 	q     *wpq
 	slots []devSlot
 	mask  uint64
-	_     [24]byte
+
+	// Observability capture (read-mostly; nil/empty with telemetry and
+	// attribution off). obs is the side ring parallel to slots; cap and
+	// capProbe replay the device's probe worker-side; capAttr is the
+	// worker's attribution scratchpad; origTel/par restore and join.
+	obs      []obsSlot
+	cap      *telemetry.Capture
+	capProbe *telemetry.Probe
+	capAttr  *telemetry.OpAttr
+	origTel  *telemetry.Probe
+	par      *parState
+	_        [24]byte
 
 	// tail publishes submitted requests to the worker (release store by
 	// the front half, acquire load by the worker). Publication is lazy:
@@ -145,19 +198,26 @@ type parState struct {
 	gap  sim.Cycles
 	stop atomic.Bool
 	wg   sync.WaitGroup
+
+	// obs marks observability capture on (telemetry and/or attribution
+	// attached at StartParallel); tel/attr are the controller's handles.
+	obs  bool
+	tel  *telemetry.Probe
+	attr *telemetry.OpAttr
 }
 
 // StartParallel moves device service onto up to n host workers, one per
 // device at most (devices are stride-assigned when n is smaller). It
 // reports whether parallel service is on after the call: it refuses —
 // leaving the controller serial — when n is non-positive or when a
-// telemetry probe, fault injector, or write observer is attached, and
-// is a no-op when already started.
+// fault injector or write observer is attached, and is a no-op when
+// already started. A telemetry probe or attribution scratchpad composes
+// through worker-side capture (see the file comment).
 func (c *Controller) StartParallel(n int) bool {
 	if c.par != nil {
 		return true
 	}
-	if n <= 0 || c.tel != nil || c.fault != nil || c.writeObs != nil {
+	if n <= 0 || c.fault != nil || c.writeObs != nil {
 		return false
 	}
 	if n > len(c.devs) {
@@ -170,6 +230,9 @@ func (c *Controller) StartParallel(n int) bool {
 		ringCap <<= 1
 	}
 	p := &parState{gap: c.cfg.DrainGapCycles, devs: make([]devPar, len(c.devs))}
+	p.obs = c.tel != nil || c.attr != nil
+	p.tel = c.tel
+	p.attr = c.attr
 	for i := range p.devs {
 		dp := &p.devs[i]
 		dp.dev = c.devs[i]
@@ -177,6 +240,25 @@ func (c *Controller) StartParallel(n int) bool {
 		dp.slots = make([]devSlot, ringCap)
 		dp.mask = uint64(ringCap - 1)
 		dp.lastLand = c.wpqs[i].lastLand
+		dp.par = p
+		if p.obs {
+			dp.obs = make([]obsSlot, ringCap)
+			if c.tel != nil {
+				// Snapshot the device's own probe (swap out and back)
+				// so worker-side captures reuse its source id and
+				// timeline base.
+				orig := dp.dev.SwapTelemetry(nil)
+				dp.dev.SwapTelemetry(orig)
+				dp.origTel = orig
+				if orig != nil {
+					dp.cap = orig.NewCapture()
+					dp.capProbe = dp.cap.ProbeLike(orig)
+				}
+			}
+			if c.attr != nil {
+				dp.capAttr = telemetry.NewCaptureAttr()
+			}
+		}
 	}
 	c.par = p
 	p.wg.Add(n)
@@ -242,7 +324,9 @@ func (p *parState) worker(own []int) {
 			t := dp.tail.Load()
 			for dp.consumed < t {
 				s := &dp.slots[dp.consumed&dp.mask]
-				if s.kind == opDevWrite {
+				if p.obs {
+					dp.serviceObs(p, s, dp.consumed)
+				} else if s.kind == opDevWrite {
 					start := sim.Max(s.at, dp.lastLand+p.gap)
 					landed := dp.dev.WriteLine(start, s.addr)
 					dp.lastLand = landed
@@ -274,6 +358,40 @@ func (p *parState) worker(own []int) {
 	}
 }
 
+// serviceObs services one request with observability capture on: the
+// device's probe and attribution handle are swapped for the capture
+// pair around the service call, and the captured events and banks are
+// copied into the request's obsSlot before the done publication makes
+// them visible to the front half's join.
+func (dp *devPar) serviceObs(p *parState, s *devSlot, seq uint64) {
+	o := &dp.obs[seq&dp.mask]
+	if dp.cap != nil {
+		dp.dev.SwapTelemetry(dp.capProbe)
+	}
+	if dp.capAttr != nil {
+		dp.capAttr.BeginCapture(int(o.svcDepth))
+		dp.dev.SwapAttr(dp.capAttr)
+	}
+	if s.kind == opDevWrite {
+		start := sim.Max(s.at, dp.lastLand+p.gap)
+		landed := dp.dev.WriteLine(start, s.addr)
+		dp.lastLand = landed
+		s.result = landed
+	} else {
+		s.result = dp.dev.ReadLine(s.at, s.addr, s.demand)
+	}
+	if dp.cap != nil {
+		dp.dev.SwapTelemetry(dp.origTel)
+		o.events = dp.cap.TakeInto(o.events[:0])
+	}
+	if dp.capAttr != nil {
+		dp.dev.SwapAttr(p.attr)
+		op, svc, fl := dp.capAttr.Captured()
+		o.capOp, o.capSvc = *op, *svc
+		o.capFlushes = append(o.capFlushes[:0], fl...)
+	}
+}
+
 // read services a read at arrival time at. With the device queue empty
 // the front half calls the device inline (no handoff latency — see the
 // memory-model note); otherwise the read is submitted behind the
@@ -290,9 +408,31 @@ func (p *parState) read(idx int, at sim.Cycles, addr mem.Addr, demand bool) sim.
 	s.addr = addr
 	s.at = at
 	s.demand = demand
+	if p.obs {
+		o := &dp.obs[seq&dp.mask]
+		o.svcDepth = 0
+		if p.attr != nil && p.attr.InService() {
+			o.svcDepth = 1
+		}
+		o.devHole, o.drainHole = nil, nil
+	}
 	dp.submitted++
 	for dp.resolved <= seq {
 		dp.resolveOne()
+	}
+	if p.obs {
+		// A read joins synchronously on the admitting side, so its
+		// captured events and banks merge straight into the live stream
+		// and scratchpad — same position and banks as serial service.
+		o := &dp.obs[seq&dp.mask]
+		if p.tel != nil {
+			for i := range o.events {
+				p.tel.EmitEvent(o.events[i])
+			}
+		}
+		if p.attr != nil {
+			p.attr.MergeCaptured(&o.capOp, &o.capSvc, o.capFlushes)
+		}
 	}
 	return s.result
 }
@@ -394,6 +534,38 @@ func (dp *devPar) resolveOne() {
 		}
 		q.land[s.wqIdx] = s.result
 		q.pend[s.wqIdx] = false
+		if p := dp.par; p != nil && p.obs {
+			dp.joinWriteObs(p, s, seq)
+		}
 	}
 	dp.resolved++
+}
+
+// joinWriteObs releases a joined write's deferred observability: its
+// captured device events fill the stream hole reserved at admission,
+// the exact landing time fills the drain-event hole, and the write's
+// service cycles — the front half's admission costs pooled with the
+// worker's capture — record as one service sample under the tenant that
+// admitted it, exactly as the serial model's per-write isolated episode
+// would have.
+func (dp *devPar) joinWriteObs(p *parState, s *devSlot, seq uint64) {
+	o := &dp.obs[seq&dp.mask]
+	if o.devHole != nil {
+		o.devHole.Fill(o.events)
+		o.devHole = nil
+	}
+	if o.drainHole != nil {
+		o.drainHole.FillOne(p.tel.EventAt(s.result, telemetry.KindWPQDrain, o.line, 0))
+		o.drainHole = nil
+	}
+	if p.attr != nil {
+		bank := o.front
+		for c := range o.capSvc {
+			bank[c] += o.capSvc[c] + o.capOp[c]
+		}
+		p.attr.RecordServiceSample(o.tenant, &bank)
+		for i := range o.capFlushes {
+			p.attr.RecordServiceSample(o.tenant, &o.capFlushes[i])
+		}
+	}
 }

@@ -158,16 +158,17 @@ func TestParallelControllerStopStart(t *testing.T) {
 	}
 }
 
-// TestParallelStartRefusals pins the v1 observer gates at the
-// controller level.
+// TestParallelStartRefusals pins the observer gates at the controller
+// level: a write observer or fault injector keeps the controller serial,
+// while a telemetry probe composes (worker-side capture, parallel.go).
 func TestParallelStartRefusals(t *testing.T) {
 	c := buildPM(t, 1)
 	rec := telemetry.NewRecorder("gate", telemetry.Config{})
 	c.SetTelemetry(rec.Probe("imc"))
-	if c.StartParallel(1) {
-		t.Error("StartParallel engaged under a telemetry probe")
-		c.StopParallel()
+	if !c.StartParallel(1) {
+		t.Error("StartParallel refused under a telemetry probe (should compose)")
 	}
+	c.StopParallel()
 	c.SetTelemetry(nil)
 
 	c.SetWriteObserver(func(mem.Addr, sim.Cycles, sim.Cycles) {})

@@ -224,6 +224,7 @@ func (t *Thread) yield() {
 	}
 	next.resume <- struct{}{}
 	<-t.resume
+	t.attrResumed()
 }
 
 // scheduleShared is the operation-entry gate for operations that can

@@ -280,10 +280,13 @@ func (s *System) Faults() *fault.Injector { return s.faults }
 // the declaration only changes host execution; n = 0 (the default)
 // restores fully serial service. The request is sticky across Runs.
 //
-// Parallel service auto-disables for a Run while a telemetry recorder,
-// persist observer (crash tracking), or fault injector is attached:
-// those consume per-write landing times or arrival-ordered event
-// streams on the issuing side.
+// Parallel service auto-disables for a Run while a persist observer
+// (crash tracking) or fault injector is attached: those consume
+// per-write landing times or arrival-ordered event streams on the
+// issuing side. A telemetry recorder composes: worker-side events and
+// attribution are captured into sequence-stamped side buffers and
+// merged at the controllers' join points, so recordings stay
+// byte-identical to serial service.
 func (s *System) SetParallelDevices(n int) {
 	if n < 0 {
 		n = 0
@@ -293,19 +296,31 @@ func (s *System) SetParallelDevices(n int) {
 
 // startParallelDevices engages the controllers' device workers for one
 // Run when requested and no arrival-ordered observer is attached. It
-// returns whether workers must be stopped at Run end.
+// returns whether workers must be stopped at Run end. With a telemetry
+// recorder attached the event stream enters deferred (hole-based)
+// ordering for the run, so worker-serviced events land at their serial
+// stream positions.
 func (s *System) startParallelDevices() bool {
-	if s.parallelDevs <= 0 || s.rec != nil || s.persistFn != nil || s.faults != nil {
+	if s.parallelDevs <= 0 || s.persistFn != nil || s.faults != nil {
 		return false
 	}
 	pm := s.pmc.StartParallel(s.parallelDevs)
 	dr := s.dramc.StartParallel(s.parallelDevs)
-	return pm || dr
+	if !pm && !dr {
+		return false
+	}
+	if s.rec != nil {
+		s.rec.BeginDeferred()
+	}
+	return true
 }
 
 func (s *System) stopParallelDevices() {
 	s.pmc.StopParallel()
 	s.dramc.StopParallel()
+	if s.rec != nil {
+		s.rec.EndDeferred()
+	}
 }
 
 // AttachTelemetry routes this system's decision-point events and sampled
@@ -330,9 +345,13 @@ func (s *System) AttachTelemetry(rec *telemetry.Recorder) {
 		}
 		s.pmc.SetTelemetry(nil)
 		s.dramc.SetTelemetry(nil)
+		s.pmc.SetAttr(nil)
+		s.dramc.SetAttr(nil)
 		for _, d := range s.pmDIMMs {
 			d.SetTelemetry(nil)
+			d.SetAttr(nil)
 		}
+		s.dramDev.SetAttr(nil)
 		return
 	}
 	s.telProbe = rec.Probe("machine")
@@ -346,11 +365,21 @@ func (s *System) AttachTelemetry(rec *telemetry.Recorder) {
 	for i, d := range s.pmDIMMs {
 		d.SetTelemetry(rec.Probe(fmt.Sprintf("dimm%d", i)))
 	}
+	// Cycle attribution: the recorder's scratchpad (nil when breakdown
+	// is off) fans out to every component that charges latency into it.
+	attr := rec.Attr()
+	s.pmc.SetAttr(attr)
+	s.dramc.SetAttr(attr)
+	for _, d := range s.pmDIMMs {
+		d.SetAttr(attr)
+	}
+	s.dramDev.SetAttr(attr)
 
 	rec.RegisterGauge("wpq_occupancy", func(now sim.Cycles) float64 {
 		return float64(s.pmc.WPQOccupancy(now))
 	})
 	rec.RegisterGauge("read_buf_lines", func(now sim.Cycles) float64 {
+		s.pmc.Quiesce()
 		n := 0
 		for _, d := range s.pmDIMMs {
 			n += d.ReadBufferLen()
@@ -358,6 +387,7 @@ func (s *System) AttachTelemetry(rec *telemetry.Recorder) {
 		return float64(n)
 	})
 	rec.RegisterGauge("write_buf_lines", func(now sim.Cycles) float64 {
+		s.pmc.Quiesce()
 		n := 0
 		for _, d := range s.pmDIMMs {
 			n += d.WriteBufferLen()
@@ -490,6 +520,12 @@ func (s *System) Run() sim.Cycles {
 		t.htShared = t.core.live > 1
 		t.rec = s.rec
 		t.tel = s.telProbe
+		t.attr = nil
+		if s.rec != nil {
+			if t.attr = s.rec.Attr(); t.attr != nil {
+				t.tenant = t.attr.Tenant(t.tenantName)
+			}
+		}
 		t.localOK = s.isolated && !t.htShared &&
 			s.rec == nil && s.persistFn == nil && !s.compatSched
 	}
@@ -499,6 +535,7 @@ func (s *System) Run() sim.Cycles {
 	if len(s.threads) == 1 {
 		t := s.threads[0]
 		t.horizon = horizonNever
+		t.attrResumed()
 		t.fn(t)
 		s.live = 0
 		end := t.now

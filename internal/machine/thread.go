@@ -81,6 +81,17 @@ type Thread struct {
 	// nil with telemetry off.
 	rec *telemetry.Recorder
 	tel *telemetry.Probe
+
+	// attr is the recorder's cycle-attribution scratchpad (nil unless
+	// breakdown is on), shared by every component of the system; tenant
+	// is this thread's interned tenant id on it, restored at each baton
+	// handoff (threads interleave only at op boundaries, so a single
+	// shared scratchpad is race-free). tenantName keeps the SetTenant
+	// label across Runs so re-wiring against a fresh recorder re-interns
+	// it.
+	attr       *telemetry.OpAttr
+	tenant     int
+	tenantName string
 }
 
 // Name returns the thread's diagnostic name.
@@ -121,6 +132,31 @@ func (t *Thread) SetTag(tag string) {
 	t.curTag = id
 }
 
+// SetTenant labels the thread's subsequent attribution samples with a
+// tenant (per-tag accounting for e.g. noisy-neighbor experiments: each
+// tenant gets its own breakdown histograms). The empty string selects
+// the default tenant. With breakdown off the label is retained and
+// takes effect when a breakdown-enabled recorder is attached.
+func (t *Thread) SetTenant(name string) {
+	t.tenantName = name
+	if t.attr != nil {
+		t.tenant = t.attr.Tenant(name)
+		t.attr.SetCurrentTenant(t.tenant)
+	}
+}
+
+// Tenant returns the thread's tenant label.
+func (t *Thread) Tenant() string { return t.tenantName }
+
+// attrResumed restores the thread's tenant on the shared attribution
+// scratchpad after a baton handoff — the only point where the running
+// simulated thread (and hence the tenant) changes.
+func (t *Thread) attrResumed() {
+	if t.attr != nil {
+		t.attr.SetCurrentTenant(t.tenant)
+	}
+}
+
 // TagCycles returns the cycles attributed to tag so far.
 func (t *Thread) TagCycles(tag string) sim.Cycles {
 	id, ok := t.sys.tagIDs[tag]
@@ -146,6 +182,7 @@ func (t *Thread) Tags() map[string]sim.Cycles {
 // suspended minimum-time thread; the last thread out closes done.
 func (t *Thread) main() {
 	<-t.resume
+	t.attrResumed()
 	t.fn(t)
 	t.sys.live--
 	if next := t.sys.sched.pop(); next != nil {
@@ -258,10 +295,17 @@ func (t *Thread) load(addr mem.Addr, ooo bool) {
 	if l != nil && !l.Flushed && !l.Prefetched {
 		t.l1.Touch(l)
 		done = sim.Max(eff, l.ReadyAt) + t.l1Hit
+		if a := t.attr; a != nil {
+			a.Add(telemetry.CompL1Hit, done-eff)
+		}
 	} else {
 		done = t.readPath(eff, addr, true)
 	}
 	t.advance(sim.Max(t.now+t.feCost(cpu.LoadIssueCycles), done))
+	if a := t.attr; a != nil {
+		a.Add(telemetry.CompIssue, t.feCost(cpu.LoadIssueCycles))
+		a.FinishOp(telemetry.ClassLoad, t.now-start)
+	}
 	t.record(mem.OpLoad, addr, start)
 }
 
@@ -271,6 +315,7 @@ func (t *Thread) load(addr mem.Addr, ooo bool) {
 // the latest completion rather than their sum.
 func (t *Thread) LoadParallel(addrs ...mem.Addr) {
 	t.scheduleShared()
+	start := t.now
 	cpu := t.cpu()
 	eff := t.now - cpu.OOOWindow
 	// loadBarrier is never negative, so this clamp also floors eff at 0.
@@ -286,6 +331,10 @@ func (t *Thread) LoadParallel(addrs ...mem.Addr) {
 		}
 	}
 	t.advance(sim.Max(t.now+t.feCost(cpu.LoadIssueCycles)*sim.Cycles(len(addrs)), done))
+	if a := t.attr; a != nil {
+		a.Add(telemetry.CompIssue, t.feCost(cpu.LoadIssueCycles)*sim.Cycles(len(addrs)))
+		a.FinishOp(telemetry.ClassLoad, t.now-start)
+	}
 }
 
 // readPath walks the hierarchy for a demand load beginning at start and
@@ -308,6 +357,9 @@ func (t *Thread) readPathL1(start sim.Cycles, addr mem.Addr, l *cache.Line, dema
 	confirmed := l.Prefetched
 	l.Prefetched = false
 	done := sim.Max(start, l.ReadyAt) + t.core.L1.HitCycles()
+	if a := t.attr; a != nil {
+		a.Add(telemetry.CompL1Hit, done-start)
+	}
 	if confirmed {
 		t.issuePrefetches(addr, false, true, done)
 	}
@@ -323,6 +375,9 @@ func (t *Thread) readPathMiss(start sim.Cycles, addr mem.Addr, demand bool) sim.
 		confirmed := l.Prefetched
 		l.Prefetched = false
 		done := sim.Max(start, l.ReadyAt) + t.core.L2.HitCycles()
+		if a := t.attr; a != nil {
+			a.Add(telemetry.CompL2Hit, done-start)
+		}
 		t.fillLevel(t.core.L1, la, false, false, done)
 		t.issuePrefetches(addr, true, confirmed, done)
 		return done
@@ -332,6 +387,9 @@ func (t *Thread) readPathMiss(start sim.Cycles, addr mem.Addr, demand bool) sim.
 		confirmed := l.Prefetched
 		l.Prefetched = false
 		done := sim.Max(start, l.ReadyAt) + t.sys.l3.HitCycles()
+		if a := t.attr; a != nil {
+			a.Add(telemetry.CompL3Hit, done-start)
+		}
 		t.fillLevel(t.core.L2, la, false, false, done)
 		t.fillLevel(t.core.L1, la, false, false, done)
 		t.issuePrefetches(addr, true, confirmed, done)
@@ -339,6 +397,10 @@ func (t *Thread) readPathMiss(start sim.Cycles, addr mem.Addr, demand bool) sim.
 	}
 	// Memory.
 	mc := t.sys.controller(addr)
+	if a := t.attr; a != nil {
+		a.Add(telemetry.CompL3Hit, t.sys.l3.HitCycles())
+		a.Add(telemetry.CompNUMA, t.remoteReadExtra(addr))
+	}
 	memDone := mc.Read(start+t.sys.l3.HitCycles(), addr, demand)
 	memDone += t.remoteReadExtra(addr)
 	t.fillLevel(t.sys.l3, la, false, false, memDone)
@@ -464,6 +526,10 @@ func (t *Thread) Store(addr mem.Addr) {
 		t.fillLevel(t.core.L1, la, true, false, t.now)
 		t.advance(t.now + t.feCost(cpu.StoreCycles+2))
 	}
+	if a := t.attr; a != nil {
+		a.Add(telemetry.CompIssue, t.now-start)
+		a.FinishOp(telemetry.ClassStore, t.now-start)
+	}
 	t.record(mem.OpStore, addr, start)
 	if addr.IsPM() {
 		t.sys.emitPersist(PersistEvent{Kind: PersistStore, Thread: t.id, Line: la, At: t.now})
@@ -518,6 +584,10 @@ func (t *Thread) NTStore(addr mem.Addr) {
 	t.sys.l3.Invalidate(la)
 
 	issueAt := sim.Max(t.now+t.feCost(cpu.NTStoreIssueCycles), t.flushFloor())
+	if a := t.attr; a != nil {
+		a.Add(telemetry.CompIssue, t.feCost(cpu.NTStoreIssueCycles))
+		a.Add(telemetry.CompFlushPipe, issueAt-(t.now+t.feCost(cpu.NTStoreIssueCycles)))
+	}
 	accept, _ := t.sys.controller(la).Write(issueAt, la)
 	if t.remote {
 		accept += cpu.RemoteWriteExtra
@@ -525,6 +595,9 @@ func (t *Thread) NTStore(addr mem.Addr) {
 	t.recordFlush(accept)
 	t.pending = append(t.pending, accept)
 	t.advance(sim.Max(t.now+t.feCost(cpu.NTStoreIssueCycles), issueAt))
+	if a := t.attr; a != nil {
+		a.FinishOp(telemetry.ClassNTStore, t.now-start)
+	}
 	t.record(mem.OpNTStore, addr, start)
 }
 
@@ -559,6 +632,10 @@ func (t *Thread) flush(addr mem.Addr, keepCached, lazy bool) {
 	// their issue slot (§6).
 	if cpu.EADR {
 		t.advance(t.now + t.feCost(cpu.FlushIssueCycles)/2)
+		if a := t.attr; a != nil {
+			a.Add(telemetry.CompIssue, t.now-start)
+			a.FinishOp(telemetry.ClassFlush, t.now-start)
+		}
 		t.record(kind, addr, start)
 		return
 	}
@@ -612,6 +689,10 @@ func (t *Thread) flush(addr mem.Addr, keepCached, lazy bool) {
 	}
 	if dirty {
 		issueAt := sim.Max(t.now+t.feCost(cpu.FlushIssueCycles), t.flushFloor())
+		if a := t.attr; a != nil {
+			a.Add(telemetry.CompIssue, cost)
+			a.Add(telemetry.CompFlushPipe, issueAt-(t.now+cost))
+		}
 		accept, _ := t.sys.controller(la).Write(issueAt, la)
 		if t.remote {
 			accept += cpu.RemoteWriteExtra
@@ -621,7 +702,13 @@ func (t *Thread) flush(addr mem.Addr, keepCached, lazy bool) {
 		// The core stalls when its flush pipeline is saturated.
 		t.advance(sim.Max(t.now+cost, issueAt))
 	} else {
+		if a := t.attr; a != nil {
+			a.Add(telemetry.CompIssue, cost)
+		}
 		t.advance(t.now + cost)
+	}
+	if a := t.attr; a != nil {
+		a.FinishOp(telemetry.ClassFlush, t.now-start)
 	}
 	t.record(kind, addr, start)
 }
@@ -633,6 +720,9 @@ func (t *Thread) SFence() {
 	start := t.now
 	t.fenceWait()
 	t.lazyFlushed = t.lazyFlushed[:0]
+	if a := t.attr; a != nil {
+		a.FinishOp(telemetry.ClassFence, t.now-start)
+	}
 	t.record(mem.OpSFence, 0, start)
 	t.sys.emitPersist(PersistEvent{Kind: PersistFence, Thread: t.id, At: t.now})
 }
@@ -652,18 +742,29 @@ func (t *Thread) MFence() {
 		}
 	}
 	t.lazyFlushed = t.lazyFlushed[:0]
+	if a := t.attr; a != nil {
+		a.FinishOp(telemetry.ClassFence, t.now-start)
+	}
 	t.record(mem.OpMFence, 0, start)
 	t.sys.emitPersist(PersistEvent{Kind: PersistFence, Thread: t.id, At: t.now})
 }
 
 func (t *Thread) fenceWait() {
-	at := t.now + t.feCost(t.cpu().FenceBaseCycles)
+	base := t.now + t.feCost(t.cpu().FenceBaseCycles)
+	at := base
 	for _, a := range t.pending {
 		if a > at {
 			at = a
 		}
 	}
 	t.pending = t.pending[:0]
+	if a := t.attr; a != nil {
+		a.Add(telemetry.CompIssue, base-t.now)
+		a.Add(telemetry.CompFenceDrain, at-base)
+	}
+	if at > base && t.tel != nil {
+		t.tel.Emit(at, telemetry.KindFenceDrain, 0, uint64(at-base))
+	}
 	t.advance(at)
 }
 
@@ -672,6 +773,10 @@ func (t *Thread) fenceWait() {
 func (t *Thread) Compute(n sim.Cycles) {
 	t.scheduleLocal()
 	t.advance(t.now + t.feCost(n))
+	if a := t.attr; a != nil {
+		a.Add(telemetry.CompCompute, t.feCost(n))
+		a.FinishOp(telemetry.ClassCompute, t.feCost(n))
+	}
 }
 
 // AVXCopy copies the XPLine at src (PM) to a cacheline-aligned DRAM
@@ -681,6 +786,7 @@ func (t *Thread) Compute(n sim.Cycles) {
 // normally (§4.3's optimization).
 func (t *Thread) AVXCopy(src, dst mem.Addr) {
 	t.scheduleShared()
+	start := t.now
 	cpu := t.cpu()
 	srcLine := src.XPLine()
 	t.sys.demand(src).DemandReadBytes += mem.XPLineSize
@@ -690,17 +796,31 @@ func (t *Thread) AVXCopy(src, dst mem.Addr) {
 	// load), so the line reads serialize — the §4.3 copy overhead.
 	done := t.now
 	mc := t.sys.controller(src)
+	attr := t.attr
 	for i := 0; i < mem.LinesPerXPLine; i++ {
 		la := srcLine + mem.Addr(i*mem.CachelineSize)
 		// Serve from caches when present, without prefetch triggers.
 		switch {
 		case t.core.L1.Peek(la) != nil:
 			done += t.core.L1.HitCycles()
+			if attr != nil {
+				attr.Add(telemetry.CompL1Hit, t.core.L1.HitCycles())
+			}
 		case t.core.L2.Peek(la) != nil:
 			done += t.core.L2.HitCycles()
+			if attr != nil {
+				attr.Add(telemetry.CompL2Hit, t.core.L2.HitCycles())
+			}
 		case t.sys.l3.Peek(la) != nil:
 			done += t.sys.l3.HitCycles()
+			if attr != nil {
+				attr.Add(telemetry.CompL3Hit, t.sys.l3.HitCycles())
+			}
 		default:
+			if attr != nil {
+				attr.Add(telemetry.CompL3Hit, t.sys.l3.HitCycles())
+				attr.Add(telemetry.CompNUMA, t.remoteReadExtra(la))
+			}
 			done = mc.Read(done+t.sys.l3.HitCycles(), la, true) + t.remoteReadExtra(la)
 		}
 	}
@@ -711,4 +831,8 @@ func (t *Thread) AVXCopy(src, dst mem.Addr) {
 		t.fillLevel(t.core.L1, dstLine+mem.Addr(i*mem.CachelineSize), true, false, done)
 	}
 	t.advance(done + 4*cpu.StoreCycles)
+	if attr != nil {
+		attr.Add(telemetry.CompIssue, 4*cpu.StoreCycles)
+		attr.FinishOp(telemetry.ClassAVXCopy, t.now-start)
+	}
 }

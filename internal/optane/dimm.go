@@ -31,6 +31,9 @@ type DIMM struct {
 	// tel, when non-nil, receives buffer/AIT/media events; nil keeps the
 	// disabled path to a single pointer test per decision point.
 	tel *telemetry.Probe
+	// attr, when non-nil, is the shared cycle-attribution scratchpad the
+	// DIMM charges its buffer, AIT and media components into.
+	attr *telemetry.OpAttr
 
 	// fault, when non-nil, degrades the media ports: thermal derating of
 	// media latencies, poisoned-XPLine read penalties, and write-arming
@@ -71,6 +74,27 @@ func (d *DIMM) Profile() Profile { return d.prof }
 func (d *DIMM) SetTelemetry(p *telemetry.Probe) {
 	d.tel = p
 	d.rb.tel = p
+}
+
+// SwapTelemetry replaces the DIMM's event probe, returning the previous
+// one — the parallel device workers' capture hook (imc.Device).
+func (d *DIMM) SwapTelemetry(p *telemetry.Probe) *telemetry.Probe {
+	old := d.tel
+	d.tel = p
+	d.rb.tel = p
+	return old
+}
+
+// SetAttr attaches (or, with nil, detaches) the DIMM's cycle-attribution
+// scratchpad.
+func (d *DIMM) SetAttr(a *telemetry.OpAttr) { d.attr = a }
+
+// SwapAttr replaces the DIMM's cycle-attribution handle, returning the
+// previous one — the parallel device workers' capture hook (imc.Device).
+func (d *DIMM) SwapAttr(a *telemetry.OpAttr) *telemetry.OpAttr {
+	old := d.attr
+	d.attr = a
+	return old
 }
 
 // SetFaults attaches (or, with nil, detaches) a fault injector whose
@@ -156,6 +180,9 @@ func (d *DIMM) ReadLine(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
 		if d.tel != nil {
 			d.tel.Emit(now, telemetry.KindWCBHit, addr.Line(), 0)
 		}
+		if a := d.attr; a != nil {
+			a.Add(telemetry.CompWCBHit, d.prof.BufReadHitCycles)
+		}
 		return now + d.prof.BufReadHitCycles
 	}
 	// Read-buffer hit: serve and consume the cacheline (cache-exclusive).
@@ -164,7 +191,11 @@ func (d *DIMM) ReadLine(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
 		if d.tel != nil {
 			d.tel.Emit(sim.Max(now, readyAt), telemetry.KindRBHit, addr.Line(), 0)
 		}
-		return sim.Max(now, readyAt) + d.prof.BufReadHitCycles
+		done := sim.Max(now, readyAt) + d.prof.BufReadHitCycles
+		if a := d.attr; a != nil {
+			a.Add(telemetry.CompRBHit, done-now)
+		}
+		return done
 	}
 	// Media read of the whole XPLine, via the AIT.
 	t := now
@@ -180,6 +211,11 @@ func (d *DIMM) ReadLine(now sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
 		d.emitAIT(now, addr, ait)
 		d.tel.Emit(done, telemetry.KindMediaRead, addr.XPLine(), 0)
 		d.tel.Emit(done, telemetry.KindRBInstall, addr.XPLine(), 0)
+	}
+	if a := d.attr; a != nil {
+		a.Add(telemetry.CompAIT, t-now)
+		a.Add(telemetry.CompMedia, done-t)
+		a.Add(telemetry.CompRBXfer, d.prof.BufReadHitCycles/4)
 	}
 	d.rb.Install(addr, addr.LineInXPLine(), done)
 	if n := d.rb.Len(); n > d.rbPeak {
@@ -211,6 +247,9 @@ func (d *DIMM) WriteLine(now sim.Cycles, addr mem.Addr) sim.Cycles {
 		if d.tel != nil {
 			d.tel.Emit(now, telemetry.KindWCBMerge, addr.Line(), 0)
 		}
+		if a := d.attr; a != nil {
+			a.Add(telemetry.CompWCBInstall, d.prof.WriteAcceptCycles)
+		}
 		return now + d.prof.WriteAcceptCycles
 	}
 	// Transition from the read buffer: the full XPLine data is already
@@ -220,11 +259,17 @@ func (d *DIMM) WriteLine(now sim.Cycles, addr mem.Addr) sim.Cycles {
 		d.wb.Allocate(addr, true, now)
 		d.c.BufferWriteHits++
 		d.noteWCBAlloc(now, addr, 1)
+		if a := d.attr; a != nil {
+			a.Add(telemetry.CompWCBInstall, d.prof.WriteAcceptCycles)
+		}
 		return sim.Max(accept, now) + d.prof.WriteAcceptCycles
 	}
 	accept := d.ensureSpace(now)
 	d.wb.Allocate(addr, false, now)
 	d.noteWCBAlloc(now, addr, 0)
+	if a := d.attr; a != nil {
+		a.Add(telemetry.CompWCBInstall, d.prof.WriteAcceptCycles)
+	}
 	return sim.Max(accept, now) + d.prof.WriteAcceptCycles
 }
 
@@ -288,12 +333,16 @@ func (d *DIMM) evict(v *wbEntry, now sim.Cycles) sim.Cycles {
 			t = done
 		}
 	}
-	start, _ := d.writePorts.Acquire(t, d.mediaWriteCycles(t, v.xpl))
+	start, wdone := d.writePorts.Acquire(t, d.mediaWriteCycles(t, v.xpl))
 	d.c.MediaWrites++
 	d.c.MediaWriteBytes += mem.XPLineSize
 	if d.tel != nil {
 		d.tel.Emit(now, telemetry.KindWCBEvict, v.xpl, rmw)
 		d.tel.Emit(start, telemetry.KindMediaWrite, v.xpl, 0)
+	}
+	if a := d.attr; a != nil {
+		a.Add(telemetry.CompEvictRMW, t-now)
+		a.Add(telemetry.CompMediaWrite, wdone-t)
 	}
 	return start
 }
@@ -302,15 +351,32 @@ func (d *DIMM) evict(v *wbEntry, now sim.Cycles) sim.Cycles {
 // XPLines whose deadline has passed.
 func (d *DIMM) drainPeriodic(now sim.Cycles) {
 	due := d.wb.DuePeriodic(now)
+	if len(due) == 0 {
+		d.wb.recycle(due)
+		return
+	}
+	a := d.attr
+	if a != nil {
+		// Periodic write-back is pure background work: pool it as one
+		// service episode (or into the enclosing one) rather than
+		// charging the triggering op.
+		a.BeginService()
+	}
 	for _, e := range due {
 		deadline := sim.Max(e.fullAt+d.prof.PeriodicWritebackCycles, 0)
-		start, _ := d.writePorts.Acquire(deadline, d.mediaWriteCycles(deadline, e.xpl))
+		start, wdone := d.writePorts.Acquire(deadline, d.mediaWriteCycles(deadline, e.xpl))
 		d.c.MediaWrites++
 		d.c.MediaWriteBytes += mem.XPLineSize
 		if d.tel != nil {
 			d.tel.Emit(sim.Max(deadline, 0), telemetry.KindWCBPeriodicWB, e.xpl, 0)
 			d.tel.Emit(start, telemetry.KindMediaWrite, e.xpl, 0)
 		}
+		if a != nil {
+			a.Add(telemetry.CompPeriodicWB, wdone-deadline)
+		}
+	}
+	if a != nil {
+		a.EndService()
 	}
 	d.wb.recycle(due)
 }

@@ -56,19 +56,24 @@ func BenchmarkSimCoreFlushFenceTelemetry(b *testing.B) { FlushFenceTelemetry(b) 
 // contract: an attached injector with no fault classes configured must
 // not add a single allocation to the hot paths (its decision points are
 // pointer tests plus empty-map probes).
+// The breakdown subtest runs with cycle attribution recording: every op
+// charges components into the shared scratchpad and records into
+// preallocated histograms, so steady state must still be allocation-free
+// (tenant interning happens once, inside the warmup run).
 func TestHotPathAllocs(t *testing.T) {
-	t.Run("plain", func(t *testing.T) { testHotPathAllocs(t, false, false) })
-	t.Run("telemetry", func(t *testing.T) { testHotPathAllocs(t, true, false) })
-	t.Run("faults-idle", func(t *testing.T) { testHotPathAllocs(t, false, true) })
+	t.Run("plain", func(t *testing.T) { testHotPathAllocs(t, false, false, false) })
+	t.Run("telemetry", func(t *testing.T) { testHotPathAllocs(t, true, false, false) })
+	t.Run("faults-idle", func(t *testing.T) { testHotPathAllocs(t, false, true, false) })
+	t.Run("breakdown", func(t *testing.T) { testHotPathAllocs(t, true, false, true) })
 }
 
-func testHotPathAllocs(t *testing.T, telemetryOn, faultsOn bool) {
+func testHotPathAllocs(t *testing.T, telemetryOn, faultsOn, breakdownOn bool) {
 	sys := machine.MustNewSystem(machine.G1Config(1))
 	if faultsOn {
 		sys.AttachFaults(fault.New(fault.Config{}))
 	}
 	if telemetryOn {
-		rec := telemetry.NewRecorder("alloc-probe", telemetry.Config{SampleEvery: 1 << 40})
+		rec := telemetry.NewRecorder("alloc-probe", telemetry.Config{SampleEvery: 1 << 40, Breakdown: breakdownOn})
 		sys.AttachTelemetry(rec)
 	}
 	type probe struct {
@@ -114,6 +119,14 @@ func testHotPathAllocs(t *testing.T, telemetryOn, faultsOn bool) {
 					i++
 				}
 				th.SetTag("")
+			}},
+			{"Tenant Load", func(th *machine.Thread) {
+				th.SetTenant("probe-tenant")
+				for k := 0; k < 64; k++ {
+					th.Load(line(i))
+					i++
+				}
+				th.SetTenant("")
 			}},
 		}
 		// Warm up: grow pending/flushRing to capacity, populate caches,

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+
+	"optanesim/internal/sim"
+)
+
+func TestHistExactBelow128(t *testing.T) {
+	h := NewHist()
+	for v := sim.Cycles(0); v < 128; v++ {
+		h.Record(v)
+	}
+	// Every value below 128 occupies its own bucket, so each quantile's
+	// bucket lower bound is the value itself.
+	for v := sim.Cycles(0); v < 128; v++ {
+		q := (float64(v) + 1) / 128
+		if got := h.Quantile(q); got != v {
+			t.Fatalf("Quantile(%v) = %d, want %d (exact range)", q, got, v)
+		}
+	}
+	if h.Count() != 128 || h.Sum() != 127*128/2 || h.Max() != 127 {
+		t.Fatalf("count/sum/max = %d/%d/%d", h.Count(), h.Sum(), h.Max())
+	}
+}
+
+func TestHistBucketMonotonicAndTight(t *testing.T) {
+	// Bucket index must be monotone in the value, the bucket's lower
+	// bound must not exceed the value, and relative error of the lower
+	// bound stays within 1/64.
+	prev := -1
+	for _, v := range []sim.Cycles{
+		0, 1, 127, 128, 129, 255, 256, 1000, 4096, 65535, 1 << 20, histMaxValue,
+	} {
+		b := histBucket(v)
+		if b < prev {
+			t.Fatalf("histBucket(%d) = %d < previous %d", v, b, prev)
+		}
+		prev = b
+		low := histBucketLow(b)
+		if low > v {
+			t.Fatalf("bucket low %d exceeds value %d", low, v)
+		}
+		if v >= 128 && float64(v-low)/float64(v) > 1.0/64 {
+			t.Fatalf("bucket low %d for value %d: relative error > 1/64", low, v)
+		}
+	}
+	if n := histBucket(histMaxValue); n != histNumBuckets-1 {
+		t.Fatalf("histBucket(max) = %d, want %d", n, histNumBuckets-1)
+	}
+}
+
+func TestHistQuantileEdges(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Record(1000)
+	h.Record(2000)
+	h.Record(3001)
+	if got := h.Quantile(1); got != 3001 {
+		t.Fatalf("q=1 = %d, want exact max 3001", got)
+	}
+	if got := h.Quantile(0); got > 1000 {
+		t.Fatalf("q=0 = %d, want <= smallest sample", got)
+	}
+	// Saturation: Sum and Max stay exact past histMaxValue.
+	h.Record(histMaxValue + 5)
+	if h.Max() != histMaxValue+5 {
+		t.Fatalf("Max = %d, want exact %d", h.Max(), histMaxValue+5)
+	}
+	// Negative clamps to zero.
+	h.Record(-7)
+	if h.Quantile(0.01) != 0 {
+		t.Fatal("negative sample did not clamp to zero")
+	}
+}
+
+func TestHistOrderIndependentAndMergeExact(t *testing.T) {
+	vals := make([]sim.Cycles, 500)
+	rng := rand.New(rand.NewSource(9))
+	for i := range vals {
+		vals[i] = sim.Cycles(rng.Intn(1 << 22))
+	}
+	fwd, rev, halves := NewHist(), NewHist(), NewHist()
+	a, b := NewHist(), NewHist()
+	for i, v := range vals {
+		fwd.Record(v)
+		rev.Record(vals[len(vals)-1-i])
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	halves.Merge(a)
+	halves.Merge(b)
+	for _, o := range []*Hist{rev, halves} {
+		if o.Count() != fwd.Count() || o.Sum() != fwd.Sum() || o.Max() != fwd.Max() {
+			t.Fatal("count/sum/max differ across insertion orders")
+		}
+		for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+			if o.Quantile(q) != fwd.Quantile(q) {
+				t.Fatalf("Quantile(%v) differs across insertion orders", q)
+			}
+		}
+	}
+	// Clone is independent.
+	c := fwd.Clone()
+	c.Record(1)
+	if c.Count() != fwd.Count()+1 || fwd.Quantile(0) == 0 && c.Quantile(0) != 0 {
+		t.Fatal("Clone not independent")
+	}
+}

@@ -81,6 +81,33 @@ func WriteSamplesJSONL(w io.Writer, recs ...*Recording) error {
 	return bw.Flush()
 }
 
+// HistRecord is one histogram-summary line: a HistSummary plus the unit
+// it came from.
+type HistRecord struct {
+	Unit string `json:"unit"`
+	HistSummary
+}
+
+// WriteHistsJSONL writes the recordings' breakdown histograms as JSON
+// lines, one summary per (tenant, scope, component), in the recordings'
+// deterministic order. Recordings without a breakdown contribute no
+// lines.
+func WriteHistsJSONL(w io.Writer, recs ...*Recording) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range recs {
+		if rec == nil || rec.Breakdown == nil {
+			continue
+		}
+		for _, s := range rec.Breakdown.Summaries() {
+			if err := enc.Encode(HistRecord{Unit: rec.Unit, HistSummary: s}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
 // UnitSeries is one unit's sampler series as reconstructed from a JSONL
 // sample log.
 type UnitSeries struct {

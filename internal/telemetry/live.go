@@ -35,6 +35,7 @@ type Live struct {
 	started time.Time
 	running map[string]time.Time
 	done    []liveUnitDone
+	bd      *BreakdownRecording
 
 	srv *http.Server
 	lis net.Listener
@@ -131,6 +132,17 @@ func (l *Live) UnitDone(id string, wall time.Duration, simCycles int64, failed b
 	l.done = append(l.done, liveUnitDone{id: id, wall: wall, simCycles: simCycles, failed: failed})
 }
 
+// ObserveBreakdown merges a finished unit's attribution histograms into
+// the live aggregate served at /metrics as Prometheus summary lines.
+func (l *Live) ObserveBreakdown(bd *BreakdownRecording) {
+	if bd == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bd = MergeBreakdowns(l.bd, bd)
+}
+
 // metrics renders the Prometheus-style text exposition.
 func (l *Live) metrics(w http.ResponseWriter, _ *http.Request) {
 	l.mu.Lock()
@@ -144,6 +156,10 @@ func (l *Live) metrics(w http.ResponseWriter, _ *http.Request) {
 		runStart[id] = t
 	}
 	done := append([]liveUnitDone(nil), l.done...)
+	var hists []HistSummary
+	if l.bd != nil {
+		hists = l.bd.Summaries()
+	}
 	l.mu.Unlock()
 
 	var ops, cycles uint64
@@ -183,5 +199,18 @@ func (l *Live) metrics(w http.ResponseWriter, _ *http.Request) {
 	for _, d := range done {
 		fmt.Fprintf(w, "optanesim_unit_seconds{unit=%q} %g\n", d.id, d.wall.Seconds())
 		fmt.Fprintf(w, "optanesim_unit_sim_cycles{unit=%q} %d\n", d.id, d.simCycles)
+	}
+	// Attribution histograms as Prometheus summaries: quantile-labeled
+	// sample lines plus _sum/_count per (tenant, scope, component).
+	for _, h := range hists {
+		labels := fmt.Sprintf("tenant=%q,scope=%q,comp=%q", h.Tenant, h.Scope, h.Name)
+		for _, q := range [...]struct {
+			q string
+			v int64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}, {"0.999", h.P999}} {
+			fmt.Fprintf(w, "optanesim_breakdown_cycles{%s,quantile=%q} %d\n", labels, q.q, q.v)
+		}
+		fmt.Fprintf(w, "optanesim_breakdown_cycles_sum{%s} %d\n", labels, h.Sum)
+		fmt.Fprintf(w, "optanesim_breakdown_cycles_count{%s} %d\n", labels, h.Count)
 	}
 }

@@ -113,6 +113,43 @@ func TestLiveShutdownCanceledContext(t *testing.T) {
 	waitGoroutines(t, before)
 }
 
+// TestLiveBreakdownMetrics checks that observed attribution histograms
+// surface on /metrics as Prometheus summary lines — quantile-labeled
+// samples plus _sum/_count — and that repeat observations merge.
+func TestLiveBreakdownMetrics(t *testing.T) {
+	l := NewLive(1, 1, nil)
+	addr, err := l.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Stop()
+
+	build := func() *BreakdownRecording {
+		r := NewRecorder("u", Config{Breakdown: true})
+		a := r.Attr()
+		a.SetCurrentTenant(a.Tenant("tenantA"))
+		a.Add(CompMedia, 400)
+		a.FinishOp(ClassLoad, 400)
+		return r.Snapshot().Breakdown
+	}
+	l.ObserveBreakdown(build())
+	l.ObserveBreakdown(build()) // merges: count doubles, quantiles hold
+	l.ObserveBreakdown(nil)     // no-op
+
+	body := scrapeMetrics(t, addr)
+	for _, want := range []string{
+		`optanesim_breakdown_cycles{tenant="tenantA",scope="op",comp="media-read",quantile="0.5"}`,
+		`optanesim_breakdown_cycles{tenant="tenantA",scope="op",comp="media-read",quantile="0.999"}`,
+		`optanesim_breakdown_cycles_sum{tenant="tenantA",scope="op",comp="media-read"} 800`,
+		`optanesim_breakdown_cycles_count{tenant="tenantA",scope="op",comp="media-read"} 2`,
+		`optanesim_breakdown_cycles_count{tenant="tenantA",scope="class",comp="load"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
 // TestLiveStopWaitsForServeGoroutine checks the non-graceful path also
 // reaps the goroutine.
 func TestLiveStopWaitsForServeGoroutine(t *testing.T) {

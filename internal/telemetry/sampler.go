@@ -48,6 +48,9 @@ type Recording struct {
 	// EndCycles is the unit timeline's extent (total simulated cycles
 	// over all of the unit's machine runs).
 	EndCycles sim.Cycles
+	// Breakdown holds the cycle-attribution histograms, when the
+	// recorder was configured with attribution on (nil otherwise).
+	Breakdown *BreakdownRecording
 }
 
 // Source returns the name for a source id, or "?" when out of range.

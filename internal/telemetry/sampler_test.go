@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"testing"
+
+	"optanesim/internal/mem"
+	"optanesim/internal/sim"
+)
+
+// TestSamplerGaugeRegisteredOnChunkBoundary pins the subtlest indexing
+// case of the columnar store: a gauge registered after exactly
+// sampleChunk global ticks has start == sampleChunk, so every one of
+// its rows rehydrates from the time column's second block while its own
+// value column still starts at block zero. An off-by-one here would
+// misalign every late-registered gauge by a whole chunk.
+func TestSamplerGaugeRegisteredOnChunkBoundary(t *testing.T) {
+	s := newSampler(1)
+	s.register("early", func(now sim.Cycles) float64 { return float64(now) })
+	for i := 0; i < sampleChunk; i++ {
+		s.sample(sim.Cycles(i), sim.Cycles(i))
+	}
+	s.register("late", func(now sim.Cycles) float64 { return 2 * float64(now) })
+	if got := s.gauges[1].start; got != sampleChunk {
+		t.Fatalf("late gauge start = %d, want %d (exact block edge)", got, sampleChunk)
+	}
+	// Cross the next block edge too, so the late gauge's own column
+	// grows a second block while offset by a full chunk from the times.
+	total := 2*sampleChunk + 5
+	for i := sampleChunk; i < total; i++ {
+		s.sample(sim.Cycles(i), sim.Cycles(i))
+	}
+
+	series := s.snapshot()
+	if len(series) != 2 {
+		t.Fatalf("got %d series, want 2", len(series))
+	}
+	early, late := series[0], series[1]
+	if len(early.Samples) != total || len(late.Samples) != total-sampleChunk {
+		t.Fatalf("sample counts = %d/%d, want %d/%d",
+			len(early.Samples), len(late.Samples), total, total-sampleChunk)
+	}
+	for j, sm := range late.Samples {
+		wantT := sim.Cycles(sampleChunk + j)
+		if sm.T != wantT || sm.V != 2*float64(wantT) {
+			t.Fatalf("late sample %d = {%d %g}, want {%d %g}", j, sm.T, sm.V, wantT, 2*float64(wantT))
+		}
+	}
+	for j, sm := range early.Samples {
+		if sm.T != sim.Cycles(j) {
+			t.Fatalf("early sample %d time = %d, want %d", j, sm.T, j)
+		}
+	}
+}
+
+// TestRecorderEventBeforeFirstSample pins the timeline-rebase contract
+// for a unit whose first event precedes its first retained sample: in a
+// later machine run, an event emitted right after the run starts lands
+// on the unit timeline before the sampler's next due tick, so the
+// exported event must sort before every subsequent sample while both
+// stay on one monotone timeline.
+func TestRecorderEventBeforeFirstSample(t *testing.T) {
+	r := NewRecorder("u", Config{EventCap: 16, SampleEvery: 100})
+	r.RegisterGauge("g", func(now sim.Cycles) float64 { return float64(now) })
+	p := r.Probe("dimm0")
+
+	// Run 1: event at 5 precedes the first explicit sample at 40.
+	p.Emit(5, KindRBMiss, mem.PMBase, 0)
+	r.MaybeSample(40)
+	r.NoteRunEnd(500)
+
+	// Run 2: the event at local time 3 (unit time 503) precedes the
+	// sampler's next due tick (600) — MaybeSample must skip, not rewind.
+	p.Emit(3, KindRBHit, mem.PMBase, 0)
+	r.MaybeSample(3)
+	r.NoteRunEnd(400)
+
+	rec := r.Snapshot()
+	if len(rec.Events) != 2 || rec.Events[0].At != 5 || rec.Events[1].At != 503 {
+		t.Fatalf("events = %+v, want rebased times 5 and 503", rec.Events)
+	}
+	samples := rec.Series[0].Samples
+	// 40 (sampled), 500 (run-1 end), 900 (run-2 end; the due tick at 600
+	// never fired because no op sampled after it came due).
+	want := []Sample{{40, 40}, {500, 500}, {900, 400}}
+	if len(samples) != len(want) {
+		t.Fatalf("samples = %+v, want %+v", samples, want)
+	}
+	for i, sm := range samples {
+		if sm != want[i] {
+			t.Fatalf("sample[%d] = %+v, want %+v", i, sm, want[i])
+		}
+	}
+	// The run-2 event precedes the run's first sample; both timelines
+	// stay monotone.
+	if !(rec.Events[1].At > samples[1].T && rec.Events[1].At < samples[2].T) {
+		t.Fatalf("run-2 event at %d not between samples %d and %d",
+			rec.Events[1].At, samples[1].T, samples[2].T)
+	}
+}
