@@ -216,6 +216,12 @@ func main() {
 		// counterparts is the recording overhead's trajectory.
 		{"SimCoreLoadTelemetry", simbench.LoadTelemetry},
 		{"SimCoreFlushFenceTelemetry", simbench.FlushFenceTelemetry},
+		// Warm-reuse machinery: deep state capture (cold and warmed)
+		// and the per-fork reconstitution a sweep pays per cell.
+		{"SimCoreSnapshotSmall", simbench.SnapshotSmall},
+		{"SimCoreSnapshotWarm", simbench.SnapshotWarm},
+		{"SimCoreRestoreWarm", simbench.RestoreWarm},
+		{"SimCoreRestoreWarmRecycled", simbench.RestoreWarmRecycled},
 	}
 
 	doc := document{

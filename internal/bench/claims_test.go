@@ -211,7 +211,11 @@ func TestC6LatencyDecomposition(t *testing.T) {
 	if rrand[1].Cycles < 400 {
 		t.Errorf("random media read latency %.0f, want ~600-800", rrand[1].Cycles)
 	}
-	if rrand[1].Cycles < 1.5*rseq[1].Cycles {
+	// The media-port occupancy floor (optane.Profile.SeqReadFloorCycles)
+	// keeps prefetch-served sequential chases at the published ~170 ns
+	// per line, so the seq/rand gap is narrower than an ideal-prefetch
+	// model would show — but sequential must still win.
+	if rrand[1].Cycles < 1.25*rseq[1].Cycles {
 		t.Errorf("prefetching should make sequential reads cheaper: seq=%.0f rand=%.0f", rseq[1].Cycles, rrand[1].Cycles)
 	}
 	// Beyond the LLC, reads dominate writes (the paper's headline).

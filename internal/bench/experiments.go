@@ -42,6 +42,15 @@ type Options struct {
 	// the event stream, samples and breakdown histograms byte-identical
 	// to serial); fault injection still auto-disables the request.
 	DeviceWorkers int
+	// WarmReuse, when true, lets sweep families that declare a shared
+	// warm prefix (WarmSweep) warm once, snapshot the simulator state
+	// and fork per cell instead of re-warming every cell from scratch.
+	// Results are byte-identical to the cold default — pinned by
+	// TestWarmReuseByteIdentical and the CI cmp gate — because a fork
+	// reconstitutes the exact machine state the cold run reaches at the
+	// end of its warm prefix. Auto-degrades to cold per unit when
+	// telemetry or fault injection is attached.
+	WarmReuse bool
 }
 
 // matrixSeed derives unit i's sampling seed: the unit's fixed built-in
@@ -119,6 +128,10 @@ type Meter struct {
 	Inj *fault.Injector
 	// SimCycles accumulates the end times of every metered run.
 	SimCycles sim.Cycles
+	// warmPool retains snapshot storage across a unit's warm-reuse sweep
+	// families (RunWarm), so consecutive families of the same geometry
+	// recycle cache arrays instead of reallocating them.
+	warmPool []*machine.System
 }
 
 // meter builds the unit's Meter, consulting the Telemetry factory and

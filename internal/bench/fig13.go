@@ -36,6 +36,9 @@ type Fig13Options struct {
 	// workers; cycle-identical results (auto-disabled when the meter
 	// carries telemetry or faults).
 	DeviceWorkers int
+	// WarmReuse warms each working-set size once (direct accesses) and
+	// forks the snapshot across the direct/redirected cells.
+	WarmReuse bool
 }
 
 func (o *Fig13Options) defaults() {
@@ -57,8 +60,7 @@ func Fig13(o Fig13Options) []Fig13Point {
 	o.defaults()
 	points := make([]Fig13Point, 0, len(o.WSS))
 	for _, wss := range o.WSS {
-		base := fig13Run(o, wss, false)
-		opt := fig13Run(o, wss, true)
+		base, opt := fig13Sweep(o, wss)
 		points = append(points, Fig13Point{
 			WSSBytes: wss,
 			IMCRatio: base.IMCReadRatio(), PMRatio: base.PMReadRatio(),
@@ -68,17 +70,20 @@ func Fig13(o Fig13Options) []Fig13Point {
 	return points
 }
 
-func fig13Run(o Fig13Options, wss int, optimized bool) trace.Counters {
+// fig13Sweep measures the direct and redirected cells of one working-set
+// size. Both cells share a warm prefix of direct accesses — the warmup
+// only exists to fill caches and on-DIMM buffers — so with WarmReuse the
+// runner warms once and forks the snapshot per cell. The workload RNG is
+// host state: it is saved after warming and restored per cell, and the
+// DRAM staging heap is rebuilt per cell, so each cell sees exactly the
+// state a cold warm+measure run would.
+func fig13Sweep(o Fig13Options, wss int) (direct, opt trace.Counters) {
 	cfg := o.Gen.Config(1)
-	sys := machine.MustNewSystem(cfg)
-	sys.SetParallelDevices(o.DeviceWorkers)
 	nBlocks := wss / mem.XPLineSize
 	if nBlocks == 0 {
 		nBlocks = 1
 	}
 	base := mem.PMBase
-	rng := sim.NewRand(21)
-	dram := pmem.NewDRAMHeap(1 << 20)
 
 	visits := 3*nBlocks + 2000
 	if visits > o.MaxVisits {
@@ -86,24 +91,49 @@ func fig13Run(o Fig13Options, wss int, optimized bool) trace.Counters {
 	}
 	warmup := visits / 4
 
-	sys.Go("fig13", 0, false, func(t *machine.Thread) {
-		st := xpline.NewStaging(dram)
-		run := func(n int) {
-			for i := 0; i < n; i++ {
-				block := base + mem.Addr(rng.Intn(nBlocks)*mem.XPLineSize)
-				if optimized {
-					xpline.Redirected(t, block, st)
-				} else {
-					xpline.Direct(t, block)
+	var rng *sim.Rand
+	var dram *pmem.Heap
+	var out [2]trace.Counters
+
+	w := WarmSweep{
+		Name: "fig13",
+		Build: func(donor *machine.System) *machine.System {
+			sys := machine.MustNewSystemReusing(cfg, donor)
+			sys.SetParallelDevices(o.DeviceWorkers)
+			rng = sim.NewRand(21)
+			dram = pmem.NewDRAMHeap(1 << 20)
+			return sys
+		},
+		Warm: func(t *machine.Thread) {
+			for i := 0; i < warmup; i++ {
+				xpline.Direct(t, base+mem.Addr(rng.Intn(nBlocks)*mem.XPLineSize))
+			}
+		},
+		Save: func() any { return rng.Clone() },
+		Restore: func(saved any) {
+			*rng = *(saved.(*sim.Rand))
+			dram = pmem.NewDRAMHeap(1 << 20)
+		},
+		NCells: 2,
+		Cell: func(i int, sys *machine.System) func(*machine.Thread) {
+			optimized := i == 1
+			return func(t *machine.Thread) {
+				st := xpline.NewStaging(dram)
+				sys.ResetCounters()
+				for v := 0; v < visits; v++ {
+					block := base + mem.Addr(rng.Intn(nBlocks)*mem.XPLineSize)
+					if optimized {
+						xpline.Redirected(t, block, st)
+					} else {
+						xpline.Direct(t, block)
+					}
 				}
 			}
-		}
-		run(warmup)
-		sys.ResetCounters()
-		run(visits)
-	})
-	o.Meter.Run(sys)
-	return sys.PMCounters()
+		},
+		Collect: func(i int, sys *machine.System) { out[i] = sys.PMCounters() },
+	}
+	o.Meter.RunWarm(o.WarmReuse, w)
+	return out[0], out[1]
 }
 
 // fig13Units returns one unit per generation.
@@ -113,7 +143,7 @@ func fig13Units(o Options) []Unit {
 		gen := gen
 		units = append(units, Unit{Experiment: "fig13", Name: gen.String(), Run: func() UnitResult {
 			m := o.meter("fig13/" + gen.String())
-			pts := Fig13(Fig13Options{Gen: gen, MaxVisits: o.scale(40000, 10000), Meter: m, DeviceWorkers: o.DeviceWorkers})
+			pts := Fig13(Fig13Options{Gen: gen, MaxVisits: o.scale(40000, 10000), Meter: m, DeviceWorkers: o.DeviceWorkers, WarmReuse: o.WarmReuse})
 			ur := UnitResult{
 				Experiment: "fig13", Unit: gen.String(), Data: pts,
 				Text: FormatFig13(gen, pts),

@@ -28,6 +28,9 @@ type Fig2Options struct {
 	Passes int
 	// Meter, when non-nil, threads telemetry through every system run.
 	Meter *Meter
+	// WarmReuse warms each working-set size once and forks the snapshot
+	// across the four CpX cells (see WarmSweep).
+	WarmReuse bool
 }
 
 func (o *Fig2Options) defaults() {
@@ -53,24 +56,24 @@ func Fig2(o Fig2Options) []Fig2Point {
 	for _, wss := range o.WSS {
 		var p Fig2Point
 		p.WSSBytes = wss
-		for cpx := 1; cpx <= mem.LinesPerXPLine; cpx++ {
-			p.RA[cpx-1] = fig2Run(o.Gen, wss, cpx, o.Passes, o.Meter)
-		}
+		fig2Sweep(o, wss, &p)
 		points = append(points, p)
 	}
 	return points
 }
 
-// fig2Run measures RA for one (wss, cpx) cell.
-func fig2Run(gen Gen, wss, cpx, passes int, m *Meter) float64 {
-	sys := machine.MustNewSystem(gen.Config(1))
+// fig2Sweep measures the four CpX cells of one working-set size. The
+// cells share a warm prefix — one full pass touching every cacheline of
+// every XPLine fills the caches and on-DIMM buffers — so with WarmReuse
+// the runner warms once and forks the snapshot per cell.
+func fig2Sweep(o Fig2Options, wss int, p *Fig2Point) {
 	nXPLines := wss / mem.XPLineSize
 	if nXPLines == 0 {
 		nXPLines = 1
 	}
 	base := mem.PMBase
 
-	onePass := func(t *machine.Thread) {
+	onePass := func(t *machine.Thread, cpx int) {
 		// One "pass" reads cacheline c of every XPLine, for c in
 		// [0, cpx), matching Fig. 1's strided pattern.
 		for c := 0; c < cpx; c++ {
@@ -82,15 +85,36 @@ func fig2Run(gen Gen, wss, cpx, passes int, m *Meter) float64 {
 		}
 	}
 
-	sys.Go("fig2", 0, false, func(t *machine.Thread) {
-		onePass(t) // warmup pass fills the buffers
-		sys.ResetCounters()
-		for p := 0; p < passes; p++ {
-			onePass(t)
-		}
-	})
-	m.Run(sys)
-	return sys.PMCounters().RA()
+	w := WarmSweep{
+		Name: "fig2",
+		Build: func(donor *machine.System) *machine.System {
+			return machine.MustNewSystemReusing(o.Gen.Config(1), donor)
+		},
+		Warm: func(t *machine.Thread) {
+			// One cacheline per XPLine creates every XPLine's buffer entry
+			// and trains the prefetchers without consuming the lines the
+			// higher-CpX cells will read.
+			onePass(t, 1)
+		},
+		NCells: mem.LinesPerXPLine,
+		Cell: func(i int, sys *machine.System) func(*machine.Thread) {
+			cpx := i + 1
+			return func(t *machine.Thread) {
+				// One settle pass in the cell's own pattern reaches its
+				// steady state (flushing warm residue for the lines this
+				// cell reads) before counters reset.
+				onePass(t, cpx)
+				sys.ResetCounters()
+				for pass := 0; pass < o.Passes; pass++ {
+					onePass(t, cpx)
+				}
+			}
+		},
+		Collect: func(i int, sys *machine.System) {
+			p.RA[i] = sys.PMCounters().RA()
+		},
+	}
+	o.Meter.RunWarm(o.WarmReuse, w)
 }
 
 // fig2Units returns one unit per generation.
@@ -100,7 +124,7 @@ func fig2Units(o Options) []Unit {
 		gen := gen
 		units = append(units, Unit{Experiment: "fig2", Name: gen.String(), Run: func() UnitResult {
 			m := o.meter("fig2/" + gen.String())
-			pts := Fig2(Fig2Options{Gen: gen, Passes: o.scale(8, 3), Meter: m})
+			pts := Fig2(Fig2Options{Gen: gen, Passes: o.scale(8, 3), Meter: m, WarmReuse: o.WarmReuse})
 			ur := UnitResult{
 				Experiment: "fig2", Unit: gen.String(), Data: pts,
 				Text: fmt.Sprintf("[%s] %s", gen, FormatFig2(pts)),

@@ -30,6 +30,9 @@ type Fig3Options struct {
 	RandomOrder bool
 	// Meter, when non-nil, threads telemetry through every system run.
 	Meter *Meter
+	// WarmReuse warms each working-set size once and forks the snapshot
+	// across the four write-fraction cells (see WarmSweep).
+	WarmReuse bool
 }
 
 func (o *Fig3Options) defaults() {
@@ -53,16 +56,18 @@ func Fig3(o Fig3Options) []Fig3Point {
 	for _, wss := range o.WSS {
 		var p Fig3Point
 		p.WSSBytes = wss
-		for lines := 1; lines <= mem.LinesPerXPLine; lines++ {
-			p.WA[lines-1] = fig3Run(o.Gen, wss, lines, o.Passes, o.RandomOrder, o.Meter)
-		}
+		fig3Sweep(o, wss, &p)
 		points = append(points, p)
 	}
 	return points
 }
 
-func fig3Run(gen Gen, wss, linesPerXPL, passes int, random bool, m *Meter) float64 {
-	sys := machine.MustNewSystem(gen.Config(1))
+// fig3Sweep measures the four write-fraction cells of one working-set
+// size. As with fig2, the cells share a warm prefix — one pass writing a
+// single cacheline per XPLine creates every XPLine's write-buffer entry
+// — so with WarmReuse the runner warms once and forks the snapshot per
+// cell.
+func fig3Sweep(o Fig3Options, wss int, p *Fig3Point) {
 	nXPLines := wss / mem.XPLineSize
 	if nXPLines == 0 {
 		nXPLines = 1
@@ -72,11 +77,11 @@ func fig3Run(gen Gen, wss, linesPerXPL, passes int, random bool, m *Meter) float
 	for i := range order {
 		order[i] = i
 	}
-	if random {
+	if o.RandomOrder {
 		order = sim.NewRand(42).Perm(nXPLines)
 	}
 
-	onePass := func(t *machine.Thread) {
+	onePass := func(t *machine.Thread, linesPerXPL int) {
 		for _, i := range order {
 			xpl := base + mem.Addr(i*mem.XPLineSize)
 			// Sequential cacheline updates within the XPLine (§3.2).
@@ -87,21 +92,40 @@ func fig3Run(gen Gen, wss, linesPerXPL, passes int, random bool, m *Meter) float
 		t.SFence()
 	}
 
-	sys.Go("fig3", 0, false, func(t *machine.Thread) {
-		onePass(t)
-		sys.ResetCounters()
-		for p := 0; p < passes; p++ {
-			onePass(t)
-		}
-		// Let G1's periodic write-back drain before reading counters.
-		t.Compute(4 * 5000)
-		t.NTStore(base) // touch the DIMM so lazy write-back runs
-	})
-	m.Run(sys)
-	c := sys.PMCounters()
-	// Exclude the single drain-touch write from the denominator.
-	c.IMCWriteBytes -= mem.CachelineSize
-	return c.WA()
+	w := WarmSweep{
+		Name: "fig3",
+		Build: func(donor *machine.System) *machine.System {
+			return machine.MustNewSystemReusing(o.Gen.Config(1), donor)
+		},
+		Warm: func(t *machine.Thread) {
+			// One cacheline per XPLine creates every XPLine's write-buffer
+			// entry without committing any cell to a write fraction.
+			onePass(t, 1)
+		},
+		NCells: mem.LinesPerXPLine,
+		Cell: func(i int, sys *machine.System) func(*machine.Thread) {
+			linesPerXPL := i + 1
+			return func(t *machine.Thread) {
+				// One settle pass in the cell's own write fraction reaches
+				// its steady state before counters reset.
+				onePass(t, linesPerXPL)
+				sys.ResetCounters()
+				for pass := 0; pass < o.Passes; pass++ {
+					onePass(t, linesPerXPL)
+				}
+				// Let G1's periodic write-back drain before reading counters.
+				t.Compute(4 * 5000)
+				t.NTStore(base) // touch the DIMM so lazy write-back runs
+			}
+		},
+		Collect: func(i int, sys *machine.System) {
+			c := sys.PMCounters()
+			// Exclude the single drain-touch write from the denominator.
+			c.IMCWriteBytes -= mem.CachelineSize
+			p.WA[i] = c.WA()
+		},
+	}
+	o.Meter.RunWarm(o.WarmReuse, w)
 }
 
 // fig3Units returns one unit per generation.
@@ -111,7 +135,7 @@ func fig3Units(o Options) []Unit {
 		gen := gen
 		units = append(units, Unit{Experiment: "fig3", Name: gen.String(), Run: func() UnitResult {
 			m := o.meter("fig3/" + gen.String())
-			pts := Fig3(Fig3Options{Gen: gen, Passes: o.scale(12, 4), Meter: m})
+			pts := Fig3(Fig3Options{Gen: gen, Passes: o.scale(12, 4), Meter: m, WarmReuse: o.WarmReuse})
 			ur := UnitResult{
 				Experiment: "fig3", Unit: gen.String(), Data: pts,
 				Text: fmt.Sprintf("[%s] %s", gen, FormatFig3(pts)),

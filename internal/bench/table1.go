@@ -6,6 +6,7 @@ import (
 
 	"optanesim/internal/cceh"
 	"optanesim/internal/machine"
+	"optanesim/internal/mem"
 	"optanesim/internal/pmem"
 	"optanesim/internal/sim"
 	"optanesim/internal/workload"
@@ -67,17 +68,27 @@ func table1Run(o Table1Options, threads, dimms int) Table1Row {
 	mcfg := o.Gen.Config(threads)
 	mcfg.PMDIMMs = dimms
 	sys := machine.MustNewSystem(mcfg)
+	// Each worker owns a private table shard carved from one parent heap
+	// (the fig10 pattern: disjoint address ranges, private bump pointers,
+	// so segment splits mid-run allocate without touching shared host
+	// state). The only cross-closure Go values — seg/per/misc — are
+	// commutative accumulators read after Run, so the bodies are isolated
+	// and ride the scheduler's local-overrun fast path (sched.go).
+	sys.SetThreadsIsolated(true)
 
-	heap := pmem.NewPMHeap(cceh.HeapFor(o.PrebuildKeys + threads*o.InsertsPerThread*2))
-	free := pmem.NewFreeSession(heap)
-	tbl := cceh.New(free, heap, 8)
-	tbl.InsertBatch(free, workload.SequenceKeys(1<<40, o.PrebuildKeys), nil)
+	prebuildPer := o.PrebuildKeys / threads
+	shardBytes := cceh.HeapFor(prebuildPer + o.InsertsPerThread*2)
+	parent := pmem.NewPMHeap(uint64(threads) * (shardBytes + mem.XPLineSize))
 
 	var seg, per, misc sim.Cycles
 	for w := 0; w < threads; w++ {
+		shard := parent.Carve(shardBytes, mem.XPLineSize)
+		free := pmem.NewFreeSession(shard)
+		tbl := cceh.New(free, shard, 8)
+		tbl.InsertBatch(free, workload.SequenceKeys(1<<40|uint64(w)<<32, prebuildPer), nil)
 		keys := workload.SequenceKeys(1<<41|uint64(w)<<32, o.InsertsPerThread)
 		sys.Go(fmt.Sprintf("worker-%d", w), w, false, func(t *machine.Thread) {
-			s := pmem.NewSession(t, heap)
+			s := pmem.NewSession(t, shard)
 			tbl.InsertBatch(s, keys, nil)
 			seg += t.TagCycles(cceh.TagSegment)
 			per += t.TagCycles(cceh.TagPersist)

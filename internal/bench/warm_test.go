@@ -1,0 +1,96 @@
+package bench_test
+
+import (
+	"bytes"
+	"testing"
+
+	"optanesim/internal/bench"
+	"optanesim/internal/telemetry"
+)
+
+// warmOptInUnits returns the quick-scale units of the experiments that
+// honor Options.WarmReuse (fig2, fig3, fig13 — the sweep families whose
+// cells share a warm prefix).
+func warmOptInUnits(t *testing.T, o bench.Options) []bench.Unit {
+	t.Helper()
+	var units []bench.Unit
+	for _, name := range []string{"fig2", "fig3", "fig13"} {
+		exp, ok := bench.ExperimentUnits(name, o)
+		if !ok {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		units = append(units, exp...)
+	}
+	return units
+}
+
+// TestWarmReuseByteIdentical pins the PR's headline guarantee at the
+// experiment level: the structured JSONL of the warm-reuse opt-in
+// experiments is byte-identical between cold runs (WarmReuse false) and
+// warm-once-fork-per-cell runs (WarmReuse true), sequentially and on a
+// worker pool. A fork reconstitutes the exact machine state the cold
+// run reaches at the end of its warm prefix, so not a single simulated
+// cycle may differ. CI re-checks the same property on the optbench
+// binary with cmp.
+func TestWarmReuseByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation sweep; skipped in -short mode")
+	}
+	cold := runStructured(t, warmOptInUnits(t, bench.Options{Quick: true}), 1)
+	warm := runStructured(t, warmOptInUnits(t, bench.Options{Quick: true, WarmReuse: true}), 1)
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("results differ between -warm-reuse off and on:\n%s", firstLineDiff(cold, warm))
+	}
+	warmPar := runStructured(t, warmOptInUnits(t, bench.Options{Quick: true, WarmReuse: true}), 4)
+	if !bytes.Equal(cold, warmPar) {
+		t.Fatalf("results differ between cold -j1 and -warm-reuse -j4:\n%s", firstLineDiff(cold, warmPar))
+	}
+}
+
+// TestWarmReuseTelemetryDegrades pins the auto-degrade contract: with a
+// telemetry recorder attached, RunWarm must take the cold path (the
+// recorder needs to observe the warm phase of every cell), so the
+// structured results and the telemetry JSONL are byte-identical whether
+// WarmReuse is requested or not.
+func TestWarmReuseTelemetryDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation sweep; skipped in -short mode")
+	}
+	run := func(reuse bool) []byte {
+		o := bench.Options{
+			Quick:     true,
+			WarmReuse: reuse,
+			Telemetry: func(unit string) *telemetry.Recorder {
+				return telemetry.NewRecorder(unit, telemetry.Config{SampleEvery: 4096})
+			},
+		}
+		units := warmOptInUnits(t, o)
+		var out bytes.Buffer
+		for _, u := range units {
+			ur := u.Run()
+			data, err := bench.EncodeJSONL([]bench.UnitResult{ur})
+			if err != nil {
+				t.Fatalf("encoding %s: %v", u.ID(), err)
+			}
+			out.Write(data)
+			if ur.Telemetry == nil {
+				t.Fatalf("unit %s: no telemetry recording", u.ID())
+			}
+			if err := telemetry.WriteEventsJSONL(&out, ur.Telemetry); err != nil {
+				t.Fatalf("unit %s: telemetry events: %v", u.ID(), err)
+			}
+			if err := telemetry.WriteSamplesJSONL(&out, ur.Telemetry); err != nil {
+				t.Fatalf("unit %s: telemetry samples: %v", u.ID(), err)
+			}
+			if err := telemetry.WriteHistsJSONL(&out, ur.Telemetry); err != nil {
+				t.Fatalf("unit %s: telemetry hists: %v", u.ID(), err)
+			}
+		}
+		return out.Bytes()
+	}
+	cold := run(false)
+	warm := run(true)
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("telemetry-attached results differ with -warm-reuse requested:\n%s", firstLineDiff(cold, warm))
+	}
+}

@@ -90,6 +90,11 @@ type System struct {
 	dramDemand trace.Counters
 
 	threads []*Thread
+	// carry holds the threads of the last RunPhase (or the revived
+	// threads of a Snapshot fork), with their full carry state — clocks,
+	// store queues, flush rings, tag accounting — intact. Continue
+	// re-registers one for another phase (see snapshot.go).
+	carry   []*Thread
 	nextTID int
 	running bool
 	done    chan struct{}
@@ -137,7 +142,17 @@ type System struct {
 }
 
 // NewSystem builds a testbed from cfg.
-func NewSystem(cfg Config) (*System, error) {
+func NewSystem(cfg Config) (*System, error) { return NewSystemReusing(cfg, nil) }
+
+// NewSystemReusing is NewSystem with donor storage: the donor's cache
+// arrays — the bulk of a System's footprint (a G1 L3 alone is 28.8 MB
+// of line frames) — are sparsely reset in place (cache.NewReusing) and
+// reused instead of allocated, so a sweep that builds one system per
+// family recycles geometry instead of paying the allocator's full
+// re-zeroing each time. Every other component is built fresh; the
+// resulting system is observably identical to NewSystem's. Ownership
+// transfers: the donor must not be used after this call.
+func NewSystemReusing(cfg Config, donor *System) (*System, error) {
 	if cfg.Cores <= 0 {
 		cfg.Cores = 1
 	}
@@ -159,12 +174,22 @@ func NewSystem(cfg Config) (*System, error) {
 		tagIDs:   map[string]int{"": 0},
 		tagNames: []string{""},
 	}
-	s.l3 = cache.New(cfg.CPU.L3)
+	var dl3 *cache.Cache
+	var dcores []*Core
+	if donor != nil && !donor.running {
+		dl3 = donor.l3
+		dcores = donor.cores
+	}
+	s.l3 = cache.NewReusing(cfg.CPU.L3, dl3)
 	for i := 0; i < cfg.Cores; i++ {
+		var d1, d2 *cache.Cache
+		if i < len(dcores) {
+			d1, d2 = dcores[i].L1, dcores[i].L2
+		}
 		s.cores = append(s.cores, &Core{
 			ID: i,
-			L1: cache.New(cfg.CPU.L1),
-			L2: cache.New(cfg.CPU.L2),
+			L1: cache.NewReusing(cfg.CPU.L1, d1),
+			L2: cache.NewReusing(cfg.CPU.L2, d2),
 			PF: prefetch.NewUnit(cfg.Prefetch),
 		})
 	}
@@ -186,6 +211,16 @@ func NewSystem(cfg Config) (*System, error) {
 // MustNewSystem is NewSystem for known-good configurations.
 func MustNewSystem(cfg Config) *System {
 	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MustNewSystemReusing is NewSystemReusing for known-good
+// configurations.
+func MustNewSystemReusing(cfg Config, donor *System) *System {
+	s, err := NewSystemReusing(cfg, donor)
 	if err != nil {
 		panic(err)
 	}
@@ -475,6 +510,7 @@ func (s *System) Go(name string, coreID int, remote bool, fn func(*Thread)) *Thr
 		l1Hit:      s.cores[coreID].L1.HitCycles(),
 		pmDemand:   &s.pmDemand,
 		dramDemand: &s.dramDemand,
+		pfFloor:    s.cfg.PM.SeqReadFloorCycles,
 	}
 	s.nextTID++
 	s.threads = append(s.threads, t)
@@ -505,7 +541,17 @@ func (s *System) internTag(name string) int {
 // check. With two or more threads the coroutine baton passes only when
 // a thread's clock crosses its grant horizon, preserving the exact
 // min-time contention order of the classic per-op scheduler.
-func (s *System) Run() sim.Cycles {
+func (s *System) Run() sim.Cycles { return s.run(false) }
+
+// RunPhase is Run, except the finished threads are retained in the
+// system's carry list instead of being dropped: their clocks, pending
+// store queues, flush rings and tag accounting stay live, so a later
+// Continue + Run picks up exactly where the phase left off, and
+// Snapshot can capture the warmed state between phases. Each
+// RunPhase/Run replaces the previous carry list.
+func (s *System) RunPhase() sim.Cycles { return s.run(true) }
+
+func (s *System) run(retain bool) sim.Cycles {
 	if len(s.threads) == 0 {
 		return 0
 	}
@@ -543,8 +589,7 @@ func (s *System) Run() sim.Cycles {
 			s.stopParallelDevices()
 		}
 		s.noteRunEnd(end)
-		s.threads = s.threads[:0]
-		s.running = false
+		s.finishRun(retain)
 		return end
 	}
 
@@ -573,9 +618,18 @@ func (s *System) Run() sim.Cycles {
 		s.stopParallelDevices()
 	}
 	s.noteRunEnd(end)
+	s.finishRun(retain)
+	return end
+}
+
+// finishRun clears the thread list, retaining the finished threads in
+// the carry list when asked (RunPhase).
+func (s *System) finishRun(retain bool) {
+	if retain {
+		s.carry = append(s.carry[:0], s.threads...)
+	}
 	s.threads = s.threads[:0]
 	s.running = false
-	return end
 }
 
 // CyclesToSeconds converts a simulated cycle count to seconds using the

@@ -72,6 +72,13 @@ type Thread struct {
 	pmDemand   *trace.Counters
 	dramDemand *trace.Counters
 
+	// pfFloor caches the PM profile's SeqReadFloorCycles; pfFree is the
+	// earliest allowed completion of the thread's next dependent load
+	// served from a prefetched line (the media-port occupancy floor —
+	// see optane.Profile.SeqReadFloorCycles). Zero floor disables pacing.
+	pfFloor sim.Cycles
+	pfFree  sim.Cycles
+
 	// traces, when non-nil, records recent operations (EnableTrace).
 	traces *traceRing
 
@@ -299,7 +306,7 @@ func (t *Thread) load(addr mem.Addr, ooo bool) {
 			a.Add(telemetry.CompL1Hit, done-eff)
 		}
 	} else {
-		done = t.readPath(eff, addr, true)
+		done = t.readPath(eff, addr, true, !ooo)
 	}
 	t.advance(sim.Max(t.now+t.feCost(cpu.LoadIssueCycles), done))
 	if a := t.attr; a != nil {
@@ -325,7 +332,7 @@ func (t *Thread) LoadParallel(addrs ...mem.Addr) {
 	var done sim.Cycles
 	for _, addr := range addrs {
 		t.sys.demand(addr).DemandReadBytes += mem.CachelineSize
-		d := t.readPath(eff, addr, true)
+		d := t.readPath(eff, addr, true, false)
 		if d > done {
 			done = d
 		}
@@ -339,20 +346,38 @@ func (t *Thread) LoadParallel(addrs ...mem.Addr) {
 
 // readPath walks the hierarchy for a demand load beginning at start and
 // returns the data-available time. It fills caches and triggers the
-// prefetchers.
-func (t *Thread) readPath(start sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
+// prefetchers. dep marks a dependent (pointer-chase style) load, which
+// is subject to the PM media-port occupancy floor when it is served from
+// a prefetched line.
+func (t *Thread) readPath(start sim.Cycles, addr mem.Addr, demand, dep bool) sim.Cycles {
 	if l := t.core.L1.Lookup(addr.Line()); l != nil {
-		return t.readPathL1(start, addr, l, demand)
+		return t.readPathL1(start, addr, l, demand, dep)
 	}
-	return t.readPathMiss(start, addr, demand)
+	return t.readPathMiss(start, addr, demand, dep)
+}
+
+// paceSeqRead applies the PM media-port occupancy floor to a dependent
+// load served from a prefetched line: consecutive such loads cannot
+// complete closer together than pfFloor cycles, because each prefetch
+// occupied a media read port for that long (§3.6's sequential pointer
+// chase). The wait is charged to the media component.
+func (t *Thread) paceSeqRead(done sim.Cycles) sim.Cycles {
+	if t.pfFree > done {
+		if a := t.attr; a != nil {
+			a.Add(telemetry.CompMedia, t.pfFree-done)
+		}
+		done = t.pfFree
+	}
+	t.pfFree = done + t.pfFloor
+	return done
 }
 
 // readPathL1 completes a demand read that found line l in L1: a hit
 // unless the line's pending flush invalidation has expired, in which
 // case the walk resumes at L2.
-func (t *Thread) readPathL1(start sim.Cycles, addr mem.Addr, l *cache.Line, demand bool) sim.Cycles {
+func (t *Thread) readPathL1(start sim.Cycles, addr mem.Addr, l *cache.Line, demand, dep bool) sim.Cycles {
 	if t.flushExpired(t.core.L1, l, start) {
-		return t.readPathMiss(start, addr, demand)
+		return t.readPathMiss(start, addr, demand, dep)
 	}
 	confirmed := l.Prefetched
 	l.Prefetched = false
@@ -361,13 +386,16 @@ func (t *Thread) readPathL1(start sim.Cycles, addr mem.Addr, l *cache.Line, dema
 		a.Add(telemetry.CompL1Hit, done-start)
 	}
 	if confirmed {
+		if dep && t.pfFloor > 0 && addr.IsPM() {
+			done = t.paceSeqRead(done)
+		}
 		t.issuePrefetches(addr, false, true, done)
 	}
 	return done
 }
 
 // readPathMiss walks the hierarchy below L1 for a demand read.
-func (t *Thread) readPathMiss(start sim.Cycles, addr mem.Addr, demand bool) sim.Cycles {
+func (t *Thread) readPathMiss(start sim.Cycles, addr mem.Addr, demand, dep bool) sim.Cycles {
 	la := addr.Line()
 
 	// L2.
@@ -377,6 +405,9 @@ func (t *Thread) readPathMiss(start sim.Cycles, addr mem.Addr, demand bool) sim.
 		done := sim.Max(start, l.ReadyAt) + t.core.L2.HitCycles()
 		if a := t.attr; a != nil {
 			a.Add(telemetry.CompL2Hit, done-start)
+		}
+		if confirmed && dep && t.pfFloor > 0 && addr.IsPM() {
+			done = t.paceSeqRead(done)
 		}
 		t.fillLevel(t.core.L1, la, false, false, done)
 		t.issuePrefetches(addr, true, confirmed, done)
@@ -389,6 +420,9 @@ func (t *Thread) readPathMiss(start sim.Cycles, addr mem.Addr, demand bool) sim.
 		done := sim.Max(start, l.ReadyAt) + t.sys.l3.HitCycles()
 		if a := t.attr; a != nil {
 			a.Add(telemetry.CompL3Hit, done-start)
+		}
+		if confirmed && dep && t.pfFloor > 0 && addr.IsPM() {
+			done = t.paceSeqRead(done)
 		}
 		t.fillLevel(t.core.L2, la, false, false, done)
 		t.fillLevel(t.core.L1, la, false, false, done)

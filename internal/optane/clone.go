@@ -1,0 +1,131 @@
+package optane
+
+import "optanesim/internal/mem"
+
+// clone rebuilds the cache with fresh nodes in the exact LRU order of
+// the original (walked tail-to-head so that pushFront reproduces the
+// list), plus the hit/miss statistics.
+func (a *aitCache) clone() *aitCache {
+	n := &aitCache{
+		granuleBits: a.granuleBits,
+		capacity:    a.capacity,
+		entries:     make(map[uint64]*aitNode, len(a.entries)),
+		hits:        a.hits,
+		misses:      a.misses,
+	}
+	for node := a.tail; node != nil; node = node.prev {
+		nn := &aitNode{key: node.key}
+		n.entries[nn.key] = nn
+		n.pushFront(nn)
+	}
+	return n
+}
+
+// clone deep-copies the buffer: resident entries, the FIFO (including
+// its consumed prefix and any stale addresses, which evictOldest skips
+// by the same rule), and a freelist of equal length so steady-state
+// allocation behaviour matches. Freelist entry contents are irrelevant —
+// newEntry-style reuse resets them. Telemetry is not carried.
+func (rb *readBuffer) clone() *readBuffer {
+	n := &readBuffer{
+		capacity:     rb.capacity,
+		retainServed: rb.retainServed,
+		entries:      make(map[mem.Addr]*rbEntry, len(rb.entries)),
+		fifo:         make([]mem.Addr, len(rb.fifo), cap(rb.fifo)),
+		fifoHead:     rb.fifoHead,
+		free:         make([]*rbEntry, len(rb.free), cap(rb.free)),
+		insertions:   rb.insertions,
+		evictions:    rb.evictions,
+	}
+	copy(n.fifo, rb.fifo)
+	for xpl, e := range rb.entries {
+		ce := *e
+		n.entries[xpl] = &ce
+	}
+	for i := range n.free {
+		n.free[i] = &rbEntry{}
+	}
+	return n
+}
+
+// clone deep-copies the buffer against a new owning profile pointer.
+// Entry identity matters: fullQueue records pin entries by pointer and
+// generation, and an entry may simultaneously sit in the residency
+// table, the freelist, and (stalely) the queue — so the copy is
+// memoized on the original pointers, preserving the aliasing graph and
+// every generation counter exactly. The open-addressed table is copied
+// slot-for-slot (tombstones and probe chains are behaviourally
+// observable through growth/compaction triggers).
+func (wb *writeBuffer) clone(prof *Profile) *writeBuffer {
+	n := &writeBuffer{
+		prof:        prof,
+		rng:         wb.rng.Clone(),
+		fqHead:      wb.fqHead,
+		merges:      wb.merges,
+		allocations: wb.allocations,
+		evictions:   wb.evictions,
+		periodicWBs: wb.periodicWBs,
+	}
+	memo := make(map[*wbEntry]*wbEntry, len(wb.tbl.vals))
+	ce := func(e *wbEntry) *wbEntry {
+		if e == nil {
+			return nil
+		}
+		if c, ok := memo[e]; ok {
+			return c
+		}
+		c := &wbEntry{}
+		*c = *e
+		memo[e] = c
+		return c
+	}
+
+	n.tbl.keys = make([]uint64, len(wb.tbl.keys))
+	n.tbl.vals = make([]*wbEntry, len(wb.tbl.vals))
+	copy(n.tbl.keys, wb.tbl.keys)
+	for i, v := range wb.tbl.vals {
+		n.tbl.vals[i] = ce(v)
+	}
+	n.tbl.live = wb.tbl.live
+	n.tbl.used = wb.tbl.used
+	n.tbl.shift = wb.tbl.shift
+
+	n.order = make([]mem.Addr, len(wb.order), cap(wb.order))
+	copy(n.order, wb.order)
+
+	n.fullQueue = make([]fullRec, len(wb.fullQueue), cap(wb.fullQueue))
+	for i, r := range wb.fullQueue {
+		n.fullQueue[i] = fullRec{e: ce(r.e), gen: r.gen, xpl: r.xpl}
+	}
+
+	n.free = make([]*wbEntry, len(wb.free), cap(wb.free))
+	for i, e := range wb.free {
+		n.free[i] = ce(e)
+	}
+	// Scratch buffers: capacity only — contents never outlive one call.
+	n.dueBuf = make([]*wbEntry, 0, cap(wb.dueBuf))
+	n.victimBuf = make([]*wbEntry, 0, cap(wb.victimBuf))
+	return n
+}
+
+// Clone returns an independent deep copy of the DIMM: the AIT cache (with
+// LRU order), read and write buffers, media port schedules, traffic
+// counters and occupancy peaks all carry over, so a forked simulation
+// serves every request exactly as the original would — including the
+// write buffer's future random eviction choices (the RNG state is
+// copied). Telemetry, attribution and fault hooks are not carried;
+// attach them to the clone if needed.
+func (d *DIMM) Clone() *DIMM {
+	n := &DIMM{
+		prof:       d.prof,
+		ait:        d.ait.clone(),
+		readPorts:  d.readPorts.Clone(),
+		writePorts: d.writePorts.Clone(),
+		c:          d.c,
+		rbPeak:     d.rbPeak,
+		wbPeak:     d.wbPeak,
+	}
+	n.rb = d.rb.clone()
+	n.wb = d.wb.clone(&n.prof)
+	return n
+}

@@ -72,6 +72,17 @@ type Profile struct {
 	// before the line is readable; §3.5).
 	RAPWindowCycles sim.Cycles
 
+	// SeqReadFloorCycles is a media-port occupancy floor on dependent
+	// loads served from prefetched cache lines: consecutive completions
+	// of such loads on one thread are spaced at least this far apart.
+	// Hardware prefetchers hide the media's XPLine fetch behind the
+	// demand stream, but a dependent chain still observes per-line media
+	// occupancy end to end (§3.6's 169-174 ns sequential pointer chase);
+	// without the floor the simulated chain pipelines the prefetch
+	// perfectly and lands ~4.6x below the published latency. Independent
+	// (bandwidth-style) loads are unaffected. Zero disables the floor.
+	SeqReadFloorCycles sim.Cycles
+
 	// ReadBufRetainsServedLines is an ablation knob: when set, the read
 	// buffer does NOT consume a cacheline once it is served to the CPU
 	// (i.e. it stops being exclusive with the caches). The paper's
@@ -101,6 +112,7 @@ func G1() Profile {
 		BufReadHitCycles:        180,
 		WriteAcceptCycles:       40,
 		RAPWindowCycles:         2200,
+		SeqReadFloorCycles:      360, // ~171 ns per dependent prefetched line at 2.1 GHz
 	}
 }
 
@@ -127,6 +139,7 @@ func G2() Profile {
 		BufReadHitCycles:        260,
 		WriteAcceptCycles:       40,
 		RAPWindowCycles:         1700,
+		SeqReadFloorCycles:      520, // ~173 ns per dependent prefetched line at 3.0 GHz
 	}
 }
 
